@@ -1,0 +1,14 @@
+"""Ablation A1 — the Elkin–Neiman gap rule (paper vs relaxed)."""
+
+from repro.analysis.ablations import a1_gap_rule
+
+
+def test_a01_gap_rule(run_table):
+    table = run_table(a1_gap_rule, quick=True, seed=1)
+    by_rule = {row["rule"]: row for row in table.rows}
+    paper = by_rule["paper (gap > 1)"]
+    ablated = by_rule["ablated (gap > 0)"]
+    # The paper rule must produce valid decompositions; the relaxed rule
+    # must be visibly worse (adjacent same-phase clusters).
+    assert paper["valid rate"] >= 0.9
+    assert ablated["valid rate"] <= paper["valid rate"] - 0.5

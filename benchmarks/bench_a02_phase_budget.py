@@ -1,0 +1,11 @@
+"""Ablation A2 — phase budget vs success probability."""
+
+from repro.analysis.ablations import a2_phase_budget
+
+
+def test_a02_phase_budget(run_table):
+    table = run_table(a2_phase_budget, quick=True, seed=1)
+    succ = table.column("success")
+    # Success climbs steeply with the budget (exponential failure decay).
+    assert succ[-1] >= 0.8
+    assert succ[-1] >= succ[0] + 0.5

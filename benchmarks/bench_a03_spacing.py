@@ -1,0 +1,14 @@
+"""Ablation A3 — Lemma 3.2 spacing vs gathered pool budget."""
+
+from repro.analysis.ablations import a3_spacing
+
+
+def test_a03_spacing(run_table):
+    table = run_table(a3_spacing, quick=True, seed=1)
+    numeric = [p for p in table.column("min pool bits")
+               if isinstance(p, int)]
+    # Bigger spacing must trap more holder bits per cluster.
+    assert numeric == sorted(numeric)
+    exhaustions = table.column("avg exhaustions")
+    assert exhaustions[0] > exhaustions[-1]
+    assert table.rows[-1]["success"] == 1.0

@@ -1,0 +1,10 @@
+"""Benchmark E1 — Theorem 3.1: decomposition from one bit per h hops."""
+
+from repro.analysis.experiments import e01_sparse_bits
+
+
+def test_e01_sparse_bits(run_table):
+    table = run_table(e01_sparse_bits, quick=True, seed=1)
+    # Theorem shape: every h succeeds and colors stay logarithmic.
+    for row in table.rows:
+        assert row["success"] == 1.0

@@ -1,0 +1,12 @@
+"""Benchmark E2 — Theorem 3.5: k-wise independence suffices."""
+
+from repro.analysis.experiments import e02_kwise
+
+
+def test_e02_kwise(run_table):
+    table = run_table(e02_kwise, quick=True, seed=1)
+    by_k = {row["k"]: row["success"] for row in table.rows}
+    # k = 1 (fully correlated radii) must fail; large k must match the
+    # fully independent reference.
+    assert by_k[1] == 0.0
+    assert by_k[max(by_k)] >= 0.9

@@ -1,0 +1,14 @@
+"""Benchmark E3 — Lemma 3.4: zero-round splitting."""
+
+from repro.analysis.experiments import e03_splitting
+
+
+def test_e03_splitting(run_table):
+    table = run_table(e03_splitting, quick=True, seed=1)
+    for row in table.rows:
+        assert row["rounds"] == 0
+        assert row["success"] >= 0.9, row
+    biased = [r for r in table.rows if r["regime"] == "epsilon-biased"][0]
+    # Lemma 3.4's headline: O(log n) shared bits.
+    assert isinstance(biased["seed bits"], int)
+    assert biased["seed bits"] <= 64

@@ -1,0 +1,12 @@
+"""Benchmark E4 — Theorem 3.6: shared-randomness CONGEST decomposition."""
+
+from repro.analysis.experiments import e04_shared_congest
+
+
+def test_e04_shared_congest(run_table):
+    table = run_table(e04_shared_congest, quick=True, seed=1)
+    for row in table.rows:
+        assert row["success"] == 1.0
+        assert row["congestion"] == 1
+        assert row["colors(max)"] <= row["O(log n)"]
+        assert row["strong diam(max)"] <= row["O(log^2 n)"]

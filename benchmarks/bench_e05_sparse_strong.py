@@ -1,0 +1,9 @@
+"""Benchmark E5 — Theorem 3.7: h-free strong-diameter decomposition."""
+
+from repro.analysis.experiments import e05_sparse_strong
+
+
+def test_e05_sparse_strong(run_table):
+    table = run_table(e05_sparse_strong, quick=True, seed=1)
+    for row in table.rows:
+        assert row["Thm3.7 strong diam"] <= row["O(log^2 n)"]

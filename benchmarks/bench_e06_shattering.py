@@ -1,0 +1,11 @@
+"""Benchmark E6 — Theorem 4.2: shattering boosts success probability."""
+
+from repro.analysis.experiments import e06_shattering
+
+
+def test_e06_shattering(run_table):
+    table = run_table(e06_shattering, quick=True, seed=1)
+    row = table.rows[0]
+    # The whole point: plain EN fails here, the shattered finish does not.
+    assert row["shattering success"] == 1.0
+    assert row["max separated K"] <= 3

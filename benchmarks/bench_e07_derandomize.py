@@ -1,0 +1,10 @@
+"""Benchmark E7 — Lemma 4.1: derandomization by seed enumeration."""
+
+from repro.analysis.experiments import e07_derandomize
+
+
+def test_e07_derandomize(run_table):
+    table = run_table(e07_derandomize, quick=True, seed=1)
+    for row in table.rows:
+        assert row["derandomized"] is True
+        assert row["good seeds"] >= 1

@@ -1,0 +1,13 @@
+"""Benchmark E8 — Theorems 4.3/4.6: error vs rounds by lying about n."""
+
+from repro.analysis.experiments import e08_lie_about_n
+
+
+def test_e08_lie_about_n(run_table):
+    table = run_table(e08_lie_about_n, quick=True, seed=1)
+    succ = table.column("success")
+    rounds = table.column("T(N) rounds")
+    # Rounds grow with the claimed N; success is (weakly) increasing
+    # from the first to the last point, and the gap is substantial.
+    assert rounds == sorted(rounds)
+    assert succ[-1] >= succ[0] + 0.3

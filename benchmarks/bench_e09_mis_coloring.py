@@ -1,0 +1,10 @@
+"""Benchmark E9 — MIS and coloring: randomized vs via-decomposition."""
+
+from repro.analysis.experiments import e09_mis_coloring
+
+
+def test_e09_mis_coloring(run_table):
+    table = run_table(e09_mis_coloring, quick=True, seed=1)
+    for row in table.rows:
+        assert row["Luby valid"] and row["det MIS valid"]
+        assert row["trial valid"] and row["det valid"]

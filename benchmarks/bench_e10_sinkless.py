@@ -1,0 +1,12 @@
+"""Benchmark E10 — sinkless orientation fix-up convergence."""
+
+from repro.analysis.experiments import e10_sinkless
+
+
+def test_e10_sinkless(run_table):
+    table = run_table(e10_sinkless, quick=True, seed=1)
+    for row in table.rows:
+        assert row["all valid"] is True
+    rounds = table.column("avg fix-up rounds")
+    # Slow growth: the largest instance needs at most ~4x the smallest.
+    assert rounds[-1] <= 6 * max(1.0, rounds[0])

@@ -1,0 +1,10 @@
+"""Benchmark E11 — uniform algorithms via guess-and-double."""
+
+from repro.analysis.experiments import e11_uniform
+
+
+def test_e11_uniform(run_table):
+    table = run_table(e11_uniform, quick=True, seed=1)
+    for row in table.rows:
+        assert row["final guess N"] >= row["n"]
+        assert row["overhead"] >= 1.0

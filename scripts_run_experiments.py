@@ -1,0 +1,13 @@
+"""Regenerate every experiment table at the full (non-quick) profile."""
+import sys, time
+from repro.analysis import EXPERIMENTS
+
+out = []
+for name in sorted(EXPERIMENTS):
+    t = time.time()
+    table = EXPERIMENTS[name](quick=False, seed=1)
+    took = time.time() - t
+    out.append((name, table, took))
+    print(f"### done {name} in {took:.1f}s", flush=True)
+    print(table.render(), flush=True)
+    print(flush=True)

@@ -1,0 +1,62 @@
+"""Command-line entry point: regenerate experiment and ablation tables.
+
+Usage::
+
+    python -m repro.analysis                 # all experiments, quick
+    python -m repro.analysis --full          # full profile (slow)
+    python -m repro.analysis e03 e08         # a subset
+    python -m repro.analysis a1 a2 a3        # ablations
+    python -m repro.analysis --list          # show what exists
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from .ablations import ABLATIONS
+from .experiments import EXPERIMENTS
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the E1-E10 experiment and A1-A3 ablation "
+                    "tables (see EXPERIMENTS.md).")
+    parser.add_argument("names", nargs="*",
+                        help="experiment/ablation names (default: all "
+                             "experiments)")
+    parser.add_argument("--full", action="store_true",
+                        help="full profile (EXPERIMENTS.md scale; slow)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--list", action="store_true",
+                        help="list available names and exit")
+    args = parser.parse_args(argv)
+
+    registry = {**EXPERIMENTS, **ABLATIONS}
+    if args.list:
+        for name in sorted(registry):
+            doc = (registry[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+
+    names = args.names or sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try --list",
+              file=sys.stderr)
+        return 2
+
+    for name in names:
+        start = time.time()
+        table = registry[name](quick=not args.full, seed=args.seed)
+        print(table.render())
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Success-rate estimation helpers for the experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def success_rate(outcomes: Sequence[bool]) -> float:
+    """Fraction of successful trials."""
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if o) / len(outcomes)
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because our experiments
+    often measure success rates at 0 or 1 exactly, where Wald intervals
+    collapse.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    spread = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - spread), min(1.0, center + spread))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 if any is 0)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def log2_or_floor(value: float, floor: float = -60.0) -> float:
+    """log2 with a floor for zero probabilities (table-friendly)."""
+    if value <= 0:
+        return floor
+    return max(floor, math.log2(value))

@@ -1,0 +1,56 @@
+"""Aligned text tables — the output format of every experiment."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+
+@dataclasses.dataclass
+class Table:
+    """One experiment's result table.
+
+    ``rows`` are dicts; ``columns`` fixes the order (defaults to the
+    keys of the first row). ``notes`` carry the theorem bound the table
+    is compared against.
+    """
+
+    title: str
+    rows: List[Dict[str, object]]
+    columns: Sequence[str] = ()
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.columns and self.rows:
+            self.columns = list(self.rows[0].keys())
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Monospace rendering with a title rule and per-column padding."""
+        columns = list(self.columns)
+        cells = [[self._format(row.get(c, "")) for c in columns]
+                 for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+            for i, c in enumerate(columns)
+        ]
+        lines = [self.title, "=" * max(len(self.title), 8)]
+        header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column as a list."""
+        return [row.get(name) for row in self.rows]

@@ -1,0 +1,22 @@
+"""Local checkers (Definition 2.2): radius-limited solution verifiers."""
+
+from .base import CheckerView, CheckVerdict, LocalChecker
+from .coloring import ColoringChecker
+from .decomposition import DecompositionChecker, decomposition_outputs
+from .mis import MISChecker
+from .orientation import SinklessOrientationChecker
+from .ruling import RulingSetChecker
+from .splitting import SplittingChecker
+
+__all__ = [
+    "CheckVerdict",
+    "CheckerView",
+    "ColoringChecker",
+    "DecompositionChecker",
+    "LocalChecker",
+    "MISChecker",
+    "RulingSetChecker",
+    "SinklessOrientationChecker",
+    "SplittingChecker",
+    "decomposition_outputs",
+]

@@ -1,0 +1,77 @@
+"""Local checkability (Definition 2.2 of the paper).
+
+A problem is d(n)-locally checkable if a deterministic d(n)-round LOCAL
+algorithm can verify a claimed solution: every node outputs yes/no, and
+all nodes say yes iff the solution is correct.
+
+:class:`LocalChecker` realizes a checker as a *radius-limited view
+predicate*: node v's verdict may depend only on the topology, UIDs, and
+claimed outputs within distance ``radius(n)`` of v. The framework hands
+each node exactly that view, so a checker physically cannot exceed its
+declared radius — which is the property the paper's reductions rely on
+(e.g. the "lie about n" argument needs checkers that cannot see the
+whole graph, Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Dict, List, Set, Tuple
+
+from ..sim.graph import DistributedGraph
+
+
+@dataclasses.dataclass
+class CheckVerdict:
+    """Outcome of running a local checker on a claimed solution."""
+
+    ok: bool
+    rejecting_nodes: List[int]
+    radius: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclasses.dataclass
+class CheckerView:
+    """What one node sees when verifying: its radius-ball of the graph."""
+
+    center: int
+    nodes: Dict[int, int]            # node -> distance from center
+    edges: List[Tuple[int, int]]     # edges among visible nodes
+    uids: Dict[int, int]
+    outputs: Dict[int, Any]          # claimed solution restricted to view
+
+
+class LocalChecker(abc.ABC):
+    """A d(n)-locally checkable verifier."""
+
+    @abc.abstractmethod
+    def radius(self, n: int) -> int:
+        """Checking radius d(n)."""
+
+    @abc.abstractmethod
+    def node_ok(self, view: CheckerView) -> bool:
+        """Node-level verdict from a radius-limited view."""
+
+    def check(self, graph: DistributedGraph,
+              outputs: Dict[int, Any]) -> CheckVerdict:
+        """Run the checker at every node; all-yes iff valid."""
+        r = self.radius(graph.n)
+        rejecting: List[int] = []
+        for v in graph.nodes():
+            ball = graph.ball(v, r)
+            visible: Set[int] = set(ball)
+            view = CheckerView(
+                center=v,
+                nodes=dict(ball),
+                edges=[(a, b) for a, b in graph.edges()
+                       if a in visible and b in visible],
+                uids={u: graph.uid(u) for u in visible},
+                outputs={u: outputs[u] for u in visible if u in outputs},
+            )
+            if not self.node_ok(view):
+                rejecting.append(v)
+        return CheckVerdict(ok=not rejecting, rejecting_nodes=rejecting, radius=r)

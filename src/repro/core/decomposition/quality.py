@@ -1,0 +1,43 @@
+"""Decomposition quality measurement shared by experiments and tests."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ...sim.graph import DistributedGraph
+from ...structures import Decomposition
+
+
+@dataclasses.dataclass
+class DecompositionQuality:
+    """Measured parameters of a decomposition against a graph."""
+
+    colors: int
+    clusters: int
+    max_strong_diameter: int
+    max_weak_diameter: int
+    congestion: int
+    max_cluster_size: int
+    valid: bool
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return dataclasses.asdict(self)
+
+
+def measure(graph: DistributedGraph,
+            decomposition: Optional[Decomposition]) -> Optional[DecompositionQuality]:
+    """Measure all quality parameters (None for failed runs)."""
+    if decomposition is None:
+        return None
+    clusters = decomposition.clusters()
+    return DecompositionQuality(
+        colors=decomposition.num_colors(),
+        clusters=len(clusters),
+        max_strong_diameter=decomposition.max_strong_diameter(graph),
+        max_weak_diameter=decomposition.max_weak_diameter(graph),
+        congestion=decomposition.congestion(),
+        max_cluster_size=max(len(m) for m in clusters.values()),
+        valid=decomposition.is_valid(graph),
+    )

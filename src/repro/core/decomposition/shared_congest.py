@@ -1,0 +1,310 @@
+"""Theorem 3.6: network decomposition from poly(log n) shared bits, CONGEST.
+
+The construction (Section 3.2 of the paper) runs O(log n) *phases*; each
+phase carves non-adjacent clusters of strong radius O(log² n) such that
+every live node is clustered with constant probability. A phase consists
+of p = Θ(log n) *epochs* i = 1..p with decreasing base radius
+``R_i = (p - i) * Θ(log n)``:
+
+* every still-available node elects itself a center with probability
+  ``~ 2^i log n / n`` (doubling each epoch; in the last epoch every node
+  is a center, so nobody survives a phase un-reached);
+* each center u draws ``X_u ~ Geometric(1/2)`` (capped at Θ(log n)) and
+  its cluster can reach nodes v with ``R_i + X_u >= d(u, v)``;
+* node v considers the best and second-best values of
+  ``(R_i + X_u) - d(u, v)``; with a gap > 1 it joins the best center
+  (colored with this phase's color), with a gap in {0, 1} it is *set
+  aside* until the next phase, and if unreached it continues to the next
+  epoch.
+
+Randomness: the election and radius draws of each (phase, epoch) come
+from Θ(log² n)-wise independent bit sources expanded deterministically
+from the global shared string ([AS04] expansion, implemented by
+:meth:`SharedRandomness.expand_kwise`), so the whole algorithm consumes
+only the poly(log n)-bit shared seed — no private randomness at all.
+
+Messages: per epoch a bounded multi-source BFS carrying the top-two
+(value, center-UID) pairs — O(log n) bits per message, CONGEST-legal;
+rounds are accounted per DESIGN.md Section 5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ...errors import ConfigurationError
+from ...randomness.shared import SharedRandomness
+from ...sim.graph import DistributedGraph
+from ...sim.metrics import RunReport
+from ...structures import Decomposition
+
+#: Bits per Bernoulli center election (a 16-bit threshold comparison).
+ELECTION_BITS = 16
+
+
+def phase_epoch_decomposition(
+    graph: DistributedGraph,
+    elect: Callable[[int, int, int, int], bool],
+    radius_draw: Callable[[int, int, int], int],
+    max_phases: int,
+    epochs: int,
+    cap: int,
+    strict: bool = True,
+) -> Tuple[Optional[Decomposition], RunReport, Dict[str, object]]:
+    """The phase/epoch carving loop shared by Theorems 3.6 and 3.7.
+
+    Parameters
+    ----------
+    elect:
+        ``elect(v, phase, epoch, epochs) -> bool`` — is v a center?
+    radius_draw:
+        ``radius_draw(v, phase, epoch) -> int`` in [1, cap].
+    strict:
+        Fail (return None) if nodes remain after ``max_phases``.
+    """
+    if max_phases < 1 or epochs < 1 or cap < 1:
+        raise ConfigurationError("max_phases, epochs and cap must be >= 1")
+    step = cap + 2  # base-radius decrement per epoch, > max X_u
+    live: Set[int] = set(graph.nodes())
+    cluster_of: Dict[int, int] = {}
+    color_of: Dict[int, int] = {}
+    trees: Dict[int, List[Tuple[int, int]]] = {}
+    members_of: Dict[int, Set[int]] = {}
+    phase_log: List[Dict[str, int]] = []
+    phases_run = 0
+
+    for phase in range(max_phases):
+        if not live:
+            break
+        phases_run += 1
+        available = set(live)
+        set_aside: Set[int] = set()
+        clustered_this_phase = 0
+        for epoch in range(1, epochs + 1):
+            if not available:
+                break
+            base = (epochs - epoch) * step
+            centers = {v for v in available if elect(v, phase, epoch, epochs)}
+            if not centers:
+                continue
+            radii = {u: base + radius_draw(u, phase, epoch) for u in centers}
+            best = _top_two(graph, available, radii)
+            joined: Dict[int, int] = {}
+            for v in available:
+                entries = best.get(v)
+                if not entries:
+                    continue
+                m1, center = entries[0]
+                m2 = entries[1][0] if len(entries) > 1 else 0
+                if m1 - m2 > 1:
+                    joined[v] = center
+                else:
+                    set_aside.add(v)
+            for v in set_aside:
+                available.discard(v)
+            new_clusters: Dict[int, Set[int]] = {}
+            for v, center in joined.items():
+                new_clusters.setdefault(center, set()).add(v)
+                available.discard(v)
+            for center, members in new_clusters.items():
+                cid = len(color_of)
+                color_of[cid] = phase
+                members_of[cid] = members
+                for v in members:
+                    cluster_of[v] = cid
+                trees[cid] = _spanning_tree_edges(graph, members, center)
+                clustered_this_phase += len(members)
+        live -= set(cluster_of)
+        phase_log.append({
+            "phase": phase,
+            "clustered": clustered_this_phase,
+            "set_aside": len(set_aside),
+        })
+
+    report = RunReport(
+        rounds=phases_run * epochs * (epochs * step + 2),
+        accounted=True,
+        model="CONGEST",
+        notes=[
+            f"phase/epoch carving: {phases_run} phases x {epochs} epochs x "
+            f"O(R_1) = {epochs * step} rounds each; top-2 messages are "
+            f"O(log n) bits"
+        ],
+    )
+    extra: Dict[str, object] = {
+        "unclustered": set(live),
+        "phases_run": phases_run,
+        "phase_log": phase_log,
+        "max_radius": epochs * step + cap,
+    }
+    if live and strict:
+        return None, report, extra
+    if live:
+        next_color = (max(color_of.values()) + 1) if color_of else 0
+        for v in sorted(live):
+            cid = len(color_of)
+            cluster_of[v] = cid
+            color_of[cid] = next_color
+            trees[cid] = []
+            next_color += 1
+        report.annotate(f"{len(live)} leftovers parked as singletons")
+    decomposition = Decomposition(cluster_of=cluster_of, color_of=color_of,
+                                  trees=trees).normalize_colors()
+    return decomposition, report, extra
+
+
+def _top_two(graph: DistributedGraph, available: Set[int],
+             radii: Dict[int, int]) -> Dict[int, List[Tuple[int, int]]]:
+    """Top-two shifted values via truncated BFS through available nodes."""
+    best: Dict[int, List[Tuple[int, int]]] = {}
+
+    def offer(v: int, value: int, center: int) -> None:
+        entries = best.setdefault(v, [])
+        for i, (val, c) in enumerate(entries):
+            if c == center:
+                if value > val:
+                    entries[i] = (value, center)
+                    entries.sort(key=lambda e: (-e[0], graph.uid(e[1])))
+                return
+        entries.append((value, center))
+        entries.sort(key=lambda e: (-e[0], graph.uid(e[1])))
+        del entries[2:]
+
+    for center, reach in radii.items():
+        dist = {center: 0}
+        frontier = [center]
+        offer(center, reach, center)
+        depth = 0
+        while frontier and depth < reach:
+            depth += 1
+            nxt: List[int] = []
+            for x in frontier:
+                for y in graph.neighbors(x):
+                    if y in available and y not in dist:
+                        dist[y] = depth
+                        nxt.append(y)
+                        offer(y, reach - depth, center)
+            frontier = nxt
+    return best
+
+
+def _spanning_tree_edges(graph: DistributedGraph, members: Set[int],
+                         center: int) -> List[Tuple[int, int]]:
+    """BFS tree of G[members] rooted at the center (strong diameter)."""
+    edges: List[Tuple[int, int]] = []
+    seen = {center}
+    frontier = [center]
+    while frontier:
+        nxt: List[int] = []
+        for x in frontier:
+            for y in graph.neighbors(x):
+                if y in members and y not in seen:
+                    seen.add(y)
+                    edges.append((x, y))
+                    nxt.append(y)
+        frontier = nxt
+    return edges
+
+
+def shared_bits_needed(n: int, k: Optional[int] = None,
+                       max_phases: Optional[int] = None,
+                       epochs: Optional[int] = None,
+                       cap: Optional[int] = None) -> int:
+    """Shared-seed length Theorem 3.6 consumes for an n-node graph.
+
+    poly(log n): (phases * epochs) source pairs, each k * m bits.
+    """
+    from ...randomness.kwise import KWiseSource
+
+    k, max_phases, epochs, cap = _defaults(n, k, max_phases, epochs, cap)
+    probe = KWiseSource(1, max(2, n), max(ELECTION_BITS, cap),
+                        coefficients=[0])
+    per_source = k * probe.field.m
+    return 2 * max_phases * epochs * per_source
+
+
+def _defaults(n: int, k: Optional[int], max_phases: Optional[int],
+              epochs: Optional[int], cap: Optional[int]):
+    logn = max(1, math.ceil(math.log2(max(2, n))))
+    if k is None:
+        k = max(8, logn * logn)  # Θ(log² n)-wise independence
+    if max_phases is None:
+        max_phases = max(4, 10 * logn)
+    if epochs is None:
+        epochs = logn + 1  # 2^epochs >= n: last epoch elects everyone
+    if cap is None:
+        cap = max(4, 2 * logn)
+    return k, max_phases, epochs, cap
+
+
+def shared_randomness_decomposition(
+    graph: DistributedGraph,
+    shared: Optional[SharedRandomness] = None,
+    seed: int = 0,
+    k: Optional[int] = None,
+    max_phases: Optional[int] = None,
+    epochs: Optional[int] = None,
+    cap: Optional[int] = None,
+    strict: bool = True,
+) -> Tuple[Optional[Decomposition], RunReport, Dict[str, object]]:
+    """Theorem 3.6 end-to-end: poly(log n) shared bits, no private bits.
+
+    Returns (decomposition | None, report, extra); extra records the
+    exact shared-seed length, the number of k-wise sources expanded, and
+    the carving log.
+    """
+    n = graph.n
+    k, max_phases, epochs, cap = _defaults(n, k, max_phases, epochs, cap)
+    bits_per_node = max(ELECTION_BITS, cap)
+    needed = shared_bits_needed(n, k, max_phases, epochs, cap)
+    if shared is None:
+        shared = SharedRandomness(needed, seed=seed)
+    elif shared.seed_bits < needed:
+        raise ConfigurationError(
+            f"shared string has {shared.seed_bits} bits; Theorem 3.6 "
+            f"needs {needed} at these parameters"
+        )
+
+    from ...randomness.kwise import KWiseSource
+
+    probe = KWiseSource(1, max(2, n), bits_per_node, coefficients=[0])
+    per_source = k * probe.field.m
+    sources: Dict[Tuple[int, int, str], object] = {}
+
+    def source_for(phase: int, epoch: int, purpose: str):
+        key = (phase, epoch, purpose)
+        if key not in sources:
+            which = 0 if purpose == "elect" else 1
+            index = (phase * epochs + (epoch - 1)) * 2 + which
+            sources[key] = shared.expand_kwise(
+                k, max(2, n), bits_per_node, offset=index * per_source)
+        return sources[key]
+
+    def elect(v: int, phase: int, epoch: int, total_epochs: int) -> bool:
+        logn = max(1, math.ceil(math.log2(max(2, n))))
+        prob = min(1.0, (2 ** epoch) * logn / n)
+        threshold = math.ceil(prob * (1 << ELECTION_BITS))
+        src = source_for(phase, epoch, "elect")
+        value = 0
+        for i in range(ELECTION_BITS):
+            value = (value << 1) | src.bit(v, i)
+        return value < threshold
+
+    def radius_draw(v: int, phase: int, epoch: int) -> int:
+        src = source_for(phase, epoch, "radius")
+        value, _used = src.geometric(v, cap, 0)
+        return value
+
+    decomposition, report, extra = phase_epoch_decomposition(
+        graph, elect, radius_draw, max_phases, epochs, cap, strict=strict)
+    report.randomness_bits = shared.seed_bits
+    report.annotate(
+        f"shared seed: {shared.seed_bits} bits; k={k}-wise expansion; "
+        f"{len(sources)} sources actually expanded"
+    )
+    extra["shared_seed_bits"] = shared.seed_bits
+    extra["shared_bits_consumed"] = len(sources) * per_source
+    extra["kwise_k"] = k
+    extra["sources_expanded"] = len(sources)
+    return decomposition, report, extra

@@ -1,0 +1,191 @@
+"""Theorem 4.2: boosting the success probability via graph shattering.
+
+The goal: a T-round decomposition algorithm whose failure probability is
+``n^(-2^(ε log² T))`` — dramatically below the 1/poly(n) of standard
+algorithms. The proof (and this implementation) composes:
+
+1. run the Elkin–Neiman decomposition tuned for per-node failure
+   probability <= 1/n² (Θ(log n) phases);
+2. the leftover set V̄ is "shattered": the outputs of nodes at pairwise
+   distance > 2t (t = the EN locality) are *independent*, so the
+   probability that some (2t+1)-separated subset of size K survives in V̄
+   is at most C(n, K) / n^(2K) <= n^(-K) — failure drops geometrically
+   in K;
+3. compute a (2t+1, O(t log n))-ruling set S of V̄ — at most K nodes
+   w.h.p. — grow BFS clusters of radius O(t log n) around S covering V̄,
+   and finish the cluster graph with a *deterministic* decomposition
+   (ball carving, standing in for [Gha19]/[PS92]); a deterministic finish
+   on <= K clusters cannot fail, so the only failure event left is the
+   size-K separated set, giving success 1 - n^(-K).
+
+Choosing K = 2^(ε log² T) balances the deterministic finish time against
+the target failure bound, which is Theorem 4.2's statement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ...randomness.source import RandomSource
+from ...sim.graph import DistributedGraph
+from ...sim.metrics import RunReport
+from ...structures import Decomposition
+from ..ruling_sets import greedy_ruling_set, voronoi_clusters
+from .deterministic import ball_carving_nx
+from .elkin_neiman import default_cap, elkin_neiman
+
+
+def shattering_decomposition(
+    graph: DistributedGraph,
+    source: RandomSource,
+    en_phases: Optional[int] = None,
+    cap: Optional[int] = None,
+) -> Tuple[Decomposition, RunReport, Dict[str, object]]:
+    """The Theorem 4.2 pipeline; always returns a decomposition.
+
+    Unlike the strict EN runs, this construction converts randomized
+    failure into extra (deterministically handled) clusters, so the
+    interesting outputs are in ``extra``:
+
+    * ``leftover`` — |V̄| after the EN phase;
+    * ``separated_set_size`` — the K the failure bound is exponential in;
+    * ``en_colors`` / ``det_colors`` — color budget split between stages.
+    """
+    n = graph.n
+    logn = max(1, math.ceil(math.log2(max(2, n))))
+    # Θ(log n) phases give per-node failure ~ 2^-phases ~ 1/n²;
+    # the proof of Theorem 4.2 runs [EN16] "such that it succeeds with
+    # probability at least 1 - 1/n²" per node.
+    en_phases = en_phases if en_phases is not None else max(4, 2 * logn + 4)
+    cap = cap if cap is not None else default_cap(n)
+
+    decomposition, en_report, en_extra = elkin_neiman(
+        graph, source, phases=en_phases, cap=cap, finish="strict")
+    leftover: Set[int] = set(en_extra["unclustered"])
+    t = en_phases * (cap + 2)  # EN locality: outputs depend on <= t hops
+
+    extra: Dict[str, object] = {
+        "leftover": len(leftover),
+        "t": t,
+        "en_phases": en_phases,
+    }
+
+    if decomposition is not None:
+        extra["separated_set_size"] = 0
+        extra["en_colors"] = decomposition.num_colors()
+        extra["det_colors"] = 0
+        return decomposition, en_report, extra
+
+    # ------------------------------------------------------------------
+    # Shattered finish.
+    # ------------------------------------------------------------------
+    # Clustered part of the EN run (rebuild from a singletons-finish of
+    # the same assignment would re-draw bits; instead recompute the
+    # cluster structure from what EN already assigned).
+    clustered_nodes = [v for v in graph.nodes() if v not in leftover]
+    alpha = 2 * t + 1
+    separated, ruling_report = greedy_ruling_set(
+        graph, alpha=alpha, subset=leftover)
+    extra["separated_set_size"] = len(separated)
+
+    # BFS clusters around S covering V̄ (trees may use any nodes, so the
+    # assignment floods the whole graph and is then restricted to V̄).
+    assignment_all = voronoi_clusters(graph, separated)
+    members: Dict[int, Set[int]] = {}
+    for v in leftover:
+        members.setdefault(assignment_all[v], set()).add(v)
+
+    # Cluster graph on the separated centers: adjacent iff their V̄
+    # members are adjacent in G (or within 2 hops through a clustered
+    # node, which keeps the coloring safe when combined with EN colors).
+    cg = nx.Graph()
+    cg.add_nodes_from(members.keys())
+    center_of: Dict[int, int] = {}
+    for center, mem in members.items():
+        for v in mem:
+            center_of[v] = center
+    for u, v in graph.edges():
+        cu, cv = center_of.get(u), center_of.get(v)
+        if cu is not None and cv is not None and cu != cv:
+            cg.add_edge(cu, cv)
+
+    det_assignment = ball_carving_nx(cg, priority={c: graph.uid(c)
+                                                   for c in cg.nodes()})
+
+    # ------------------------------------------------------------------
+    # Combine: EN clusters keep their phase colors; shattered clusters get
+    # fresh colors offset past the EN palette.
+    # ------------------------------------------------------------------
+    en_partial, _report2, _extra2 = _rebuild_en_partial(graph, en_extra,
+                                                        clustered_nodes,
+                                                        source, en_phases, cap)
+    cluster_of: Dict[int, int] = dict(en_partial.cluster_of)
+    color_of: Dict[int, int] = dict(en_partial.color_of)
+    en_colors = en_partial.num_colors()
+    offset = (max(color_of.values()) + 1) if color_of else 0
+    det_ids: Dict[Tuple[int, Hashable], int] = {}
+    next_cid = (max(color_of.keys()) + 1) if color_of else 0
+    for center, (det_color, det_center) in det_assignment.items():
+        key = (det_color, det_center)
+        if key not in det_ids:
+            det_ids[key] = next_cid
+            color_of[next_cid] = offset + det_color
+            next_cid += 1
+        cid = det_ids[key]
+        for v in members[center]:
+            cluster_of[v] = cid
+
+    det_colors = len({c for c in color_of.values() if c >= offset})
+    extra["en_colors"] = en_colors
+    extra["det_colors"] = det_colors
+
+    logK = max(1, math.ceil(math.log2(max(2, len(separated) + 1))))
+    finish_report = ruling_report.merge(RunReport(
+        rounds=(2 * logK + 2) * (alpha * logn + 2),
+        accounted=True,
+        model="CONGEST",
+        notes=[
+            f"deterministic finish: ball carving on {cg.number_of_nodes()} "
+            f"shattered clusters of radius O(t log n)"
+        ],
+    ))
+    report = en_report.merge(finish_report)
+    return (Decomposition(cluster_of=cluster_of,
+                          color_of=color_of).normalize_colors(),
+            report, extra)
+
+
+def _rebuild_en_partial(graph: DistributedGraph, en_extra: Dict[str, object],
+                        clustered_nodes: List[int], source: RandomSource,
+                        phases: int, cap: int):
+    """Re-derive the EN cluster assignment from the same (cached) bits.
+
+    Sources are pure functions of (node, index), so re-running the phase
+    loop with identical parameters reproduces the identical assignment —
+    this time collecting the partial decomposition over the clustered
+    nodes only (leftovers are excluded by the caller).
+    """
+    decomposition, report, extra = elkin_neiman(
+        graph, source, phases=phases, cap=cap, finish="singletons")
+    keep = set(clustered_nodes)
+    cluster_of = {v: c for v, c in decomposition.cluster_of.items()
+                  if v in keep}
+    color_of = {c: decomposition.color_of[c]
+                for c in set(cluster_of.values())}
+    return Decomposition(cluster_of=cluster_of, color_of=color_of), report, extra
+
+
+def theoretical_failure_bound(n: int, K: int) -> float:
+    """The n^-K failure bound of the separated-set union bound."""
+    if n < 2:
+        return 0.0
+    return float(n) ** (-K)
+
+
+def target_K(T: int, epsilon: float = 0.25) -> int:
+    """The K = 2^(ε log² T) of the theorem statement."""
+    logT = max(1.0, math.log2(max(2, T)))
+    return max(1, int(round(2 ** (epsilon * logT * logT))))

@@ -1,0 +1,184 @@
+"""Maximal independent set — the paper's motivating problem (Linial '87).
+
+Three algorithms, spanning the deterministic-vs-randomized landscape the
+paper studies:
+
+* :class:`LubyMIS` — the classic O(log n)-round randomized algorithm
+  [Lub86, ABI86], written as a genuine message-passing
+  :class:`~repro.sim.node.NodeProgram` (engine-measured rounds, CONGEST
+  messages).
+* :func:`slocal_greedy_mis` — the locality-1 SLOCAL greedy ([GKM17]'s
+  example of why SLOCAL trivializes sequential problems).
+* :func:`mis_via_decomposition` — the standard reduction: given a
+  (c, d)-decomposition, process color classes sequentially; each cluster
+  gathers its topology and the frozen boundary decisions and solves
+  locally. O(c·(d+2)) rounds — with a poly(log n) decomposition, a
+  poly(log n) deterministic MIS, which is exactly why decomposition is
+  complete for the P-RLOCAL vs P-LOCAL question.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..randomness.source import RandomSource
+from ..sim.engine import CONGEST, SyncEngine
+from ..sim.graph import DistributedGraph
+from ..sim.metrics import AlgorithmResult, RunReport
+from ..sim.node import NodeContext, NodeProgram
+from ..sim.slocal import SLocalSimulator, SLocalView
+from ..structures import Decomposition
+
+_PRIO, _IN, _OUT = "p", "i", "o"
+
+
+class LubyMIS(NodeProgram):
+    """Luby's MIS as a three-round-per-iteration node program.
+
+    Iteration structure (round index mod 3):
+
+    1. every undecided node draws a fresh priority and sends it to its
+       undecided neighbors;
+    2. a node that beats all received priorities joins the MIS and
+       announces IN;
+    3. neighbors of fresh IN nodes go OUT and announce it, so everyone
+       prunes its undecided-neighbor set before the next iteration.
+
+    Priorities are (random value, UID) pairs — the UID tiebreak makes
+    simultaneous joins of adjacent nodes impossible even on unlucky draws.
+    Messages are O(log n) bits; the program is CONGEST-legal.
+    """
+
+    def init(self, ctx: NodeContext) -> Dict:
+        ctx.state["alive"] = set(ctx.neighbors)
+        ctx.state["decided"] = None
+        ctx.state["prio"] = None
+        ctx.state["nbr_prio"] = {}
+        return {}
+
+    def step(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Dict:
+        st = ctx.state
+        # Absorb announcements regardless of the phase we are in.
+        for sender, message in inbox.items():
+            kind = message[0]
+            if kind == _IN:
+                st["alive"].discard(sender)
+                if st["decided"] is None:
+                    st["decided"] = False
+            elif kind == _OUT:
+                st["alive"].discard(sender)
+            elif kind == _PRIO:
+                st["nbr_prio"][sender] = (message[1], message[2])
+
+        phase = round_index % 3
+        if phase == 1:
+            if st["decided"] is False:
+                ctx.finish(False)
+                return {}
+            st["nbr_prio"] = {}
+            value = ctx.rand_uniform(ctx.n ** 2)
+            st["prio"] = (value, ctx.uid)
+            out = {u: (_PRIO, value, ctx.uid) for u in st["alive"]}
+            return out
+        if phase == 2:
+            if st["decided"] is not None or st["prio"] is None:
+                return {}
+            mine = st["prio"]
+            rivals = [st["nbr_prio"][u] for u in st["alive"]
+                      if u in st["nbr_prio"]]
+            if all(mine > r for r in rivals):
+                st["decided"] = True
+                return {u: (_IN,) for u in st["alive"]}
+            return {}
+        # phase == 0: propagate OUT decisions and finish decided nodes.
+        if st["decided"] is True:
+            ctx.finish(True)
+            return {}
+        if st["decided"] is False:
+            # Tell undecided neighbors we are out, then finish next pass.
+            return {u: (_OUT,) for u in st["alive"]}
+        if not st["alive"]:
+            # All neighbors decided without claiming us: we join.
+            ctx.finish(True)
+            return {}
+        return {}
+
+
+def luby_mis(graph: DistributedGraph, source: RandomSource,
+             max_rounds: int = 100_000) -> AlgorithmResult:
+    """Run Luby's algorithm on the engine in the CONGEST model."""
+    engine = SyncEngine(graph, lambda _v: LubyMIS(), source=source,
+                        model=CONGEST, max_rounds=max_rounds)
+    result = engine.run()
+    # Isolated nodes never hear from anyone and join immediately — make
+    # sure outputs are booleans everywhere.
+    assert all(isinstance(o, bool) for o in result.outputs.values())
+    return result
+
+
+def slocal_greedy_mis(graph: DistributedGraph,
+                      order: Optional[list] = None) -> AlgorithmResult:
+    """Greedy MIS with SLOCAL locality 1: join unless a processed
+    neighbor already joined."""
+
+    def decide(view: SLocalView) -> bool:
+        for u, d in view.nodes.items():
+            if d == 1 and view.records.get(u) is True:
+                return False
+        return True
+
+    return SLocalSimulator(graph, locality=1, decide=decide).run(order)
+
+
+def mis_via_decomposition(
+    graph: DistributedGraph,
+    decomposition: Decomposition,
+) -> Tuple[Dict[int, bool], RunReport]:
+    """Deterministic MIS from a network decomposition.
+
+    Color classes are processed in increasing color order; all clusters
+    of one color are solved in parallel (they are non-adjacent, so their
+    greedy choices cannot conflict), seeing the frozen decisions of
+    earlier colors. Rounds: per color, clusters gather and decide in
+    O(diameter + 2) rounds.
+    """
+    decided: Dict[int, bool] = {}
+    clusters = decomposition.clusters()
+    by_color: Dict[int, list] = {}
+    for cid, members in clusters.items():
+        by_color.setdefault(decomposition.color_of[cid], []).append(members)
+
+    max_diameter = 0
+    for color in sorted(by_color):
+        for members in by_color[color]:
+            max_diameter = max(max_diameter, graph.weak_diameter(members))
+            for v in sorted(members, key=graph.uid):
+                if any(decided.get(u) for u in graph.neighbors(v)):
+                    decided[v] = False
+                else:
+                    decided[v] = True
+
+    colors = decomposition.num_colors()
+    report = RunReport(
+        rounds=colors * (max_diameter + 2),
+        accounted=True,
+        model="LOCAL",
+        notes=[
+            f"MIS via decomposition: {colors} colors x "
+            f"(max diameter {max_diameter} + 2) rounds"
+        ],
+    )
+    return decided, report
+
+
+def is_valid_mis(graph: DistributedGraph, flags: Dict[int, bool]) -> bool:
+    """Centralized MIS validity (checkers.MISChecker is the local one)."""
+    selected: Set[int] = {v for v, f in flags.items() if f}
+    for u, v in graph.edges():
+        if u in selected and v in selected:
+            return False
+    for v in graph.nodes():
+        if v not in selected and not any(
+                u in selected for u in graph.neighbors(v)):
+            return False
+    return True

@@ -1,0 +1,293 @@
+"""Sinkless orientation — the exponential-separation landmark (§1.1).
+
+Orient every edge so that each node of degree >= 3 has at least one
+outgoing edge. Brandt et al. [BFH+16] proved an Ω(log log n) randomized
+lower bound; Chang et al. [CKP16] lifted it to Ω(log n) deterministic;
+Ghaffari–Su [GS17] matched both — the canonical exponential separation
+*below* the poly(log n) regime the rest of the paper lives in.
+
+We implement:
+
+* :func:`deterministic_orientation` — a deterministic baseline via
+  bipartite matching (each constrained node is matched to a private
+  incident edge which is oriented outward; Hall's condition holds
+  whenever a sinkless orientation exists at all). Centralized — it plays
+  the role of "the slow deterministic side" of the separation.
+* :func:`randomized_orientation` — the randomized fix-up process: orient
+  every edge by a fair coin, then repeatedly let every remaining sink
+  flip one uniformly random incident edge outward. Two adjacent nodes
+  can never claim the same edge (an edge cannot point into both), so
+  flips commute; experiment E10 measures the number of fix-up rounds,
+  which grows extremely slowly with n (the log log n landscape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..randomness.source import RandomSource
+from ..sim.graph import DistributedGraph
+from ..sim.metrics import RunReport
+
+Orientation = Dict[Tuple[int, int], Tuple[int, int]]  # edge -> (tail, head)
+
+
+def _canonical(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def sinks(graph: DistributedGraph, orientation: Orientation,
+          min_degree: int = 3) -> Set[int]:
+    """Nodes of degree >= min_degree with no outgoing edge."""
+    has_out: Set[int] = set()
+    for tail, _head in orientation.values():
+        has_out.add(tail)
+    return {
+        v for v in graph.nodes()
+        if graph.degree(v) >= min_degree and v not in has_out
+    }
+
+
+def is_sinkless(graph: DistributedGraph, orientation: Orientation,
+                min_degree: int = 3) -> bool:
+    """Full validity: every edge oriented, no constrained sink."""
+    for u, v in graph.edges():
+        key = _canonical(u, v)
+        if key not in orientation:
+            return False
+        tail, head = orientation[key]
+        if {tail, head} != {u, v}:
+            return False
+    return not sinks(graph, orientation, min_degree)
+
+
+def deterministic_orientation(graph: DistributedGraph,
+                              min_degree: int = 3
+                              ) -> Tuple[Orientation, RunReport]:
+    """Sinkless orientation via bipartite node-to-edge matching.
+
+    Raises :class:`ConfigurationError` when no sinkless orientation
+    exists (e.g. trees whose constrained nodes outnumber their incident
+    edge budget).
+    """
+    constrained = [v for v in graph.nodes() if graph.degree(v) >= min_degree]
+    edge_list = [_canonical(u, v) for u, v in graph.edges()]
+    bipartite = nx.Graph()
+    bipartite.add_nodes_from((("n", v) for v in constrained), bipartite=0)
+    bipartite.add_nodes_from((("e", e) for e in edge_list), bipartite=1)
+    for v in constrained:
+        for u in graph.neighbors(v):
+            bipartite.add_edge(("n", v), ("e", _canonical(v, u)))
+    matching = nx.bipartite.maximum_matching(
+        bipartite, top_nodes=[("n", v) for v in constrained])
+    orientation: Orientation = {}
+    for v in constrained:
+        mate = matching.get(("n", v))
+        if mate is None:
+            raise ConfigurationError(
+                f"graph admits no sinkless orientation: node {v} "
+                f"(degree {graph.degree(v)}) cannot be served"
+            )
+        edge = mate[1]
+        other = edge[1] if edge[0] == v else edge[0]
+        orientation[edge] = (v, other)
+    for edge in edge_list:
+        if edge not in orientation:
+            orientation[edge] = edge  # arbitrary: low index -> high index
+    report = RunReport(
+        rounds=0, accounted=True, model="LOCAL",
+        notes=["centralized matching baseline (the deterministic side of "
+               "the separation is Θ(log n) distributed [CKP16, GS17])"],
+    )
+    return orientation, report
+
+
+def tree_orientation(graph: DistributedGraph, min_degree: int = 3
+                     ) -> Tuple[Orientation, RunReport]:
+    """Deterministic sinkless orientation of a tree (or forest).
+
+    Root each tree at a leaf (any node of degree < ``min_degree``; one
+    exists in every finite tree) and orient every edge parent → child:
+    internal nodes keep their child edges outgoing, the root and the
+    leaves are exempt from the constraint by degree. This is the
+    Θ(log n)-deterministic-side construction of the [GS17]/[CKP16]
+    separation, implemented as a BFS orientation with O(diameter)
+    accounted rounds.
+
+    Raises :class:`ConfigurationError` on non-forests or if some tree
+    has no exempt node to root at (impossible for ``min_degree >= 2``).
+    """
+    if not nx.is_forest(graph.nx):
+        raise ConfigurationError("tree_orientation requires a forest")
+    orientation: Orientation = {}
+    depth = 0
+    for component in nx.connected_components(graph.nx):
+        nodes = sorted(component)
+        if len(nodes) == 1:
+            continue
+        exempt = [v for v in nodes if graph.degree(v) < min_degree]
+        if not exempt:
+            raise ConfigurationError(
+                "no feasible root: every node is constrained"
+            )
+        root = min(exempt, key=graph.uid)
+        lengths = nx.single_source_shortest_path_length(graph.nx, root)
+        depth = max(depth, max(lengths.values()))
+        for u, v in nx.bfs_edges(graph.nx, root):
+            orientation[_canonical(u, v)] = (u, v)  # parent -> child
+    report = RunReport(
+        rounds=depth + 1,
+        accounted=True,
+        model="CONGEST",
+        notes=["leaf-rooted BFS orientation; rounds = tree depth"],
+    )
+    return orientation, report
+
+
+def randomized_orientation(
+    graph: DistributedGraph,
+    source: RandomSource,
+    min_degree: int = 3,
+    max_rounds: int = 10_000,
+) -> Tuple[Optional[Orientation], RunReport, Dict[str, object]]:
+    """Random orientation plus iterated sink fix-up.
+
+    Per round, every current sink flips one uniformly chosen incident
+    edge outward; rounds until sink-free are measured. Returns
+    ``(orientation | None, report, extra)`` with ``extra['fixup_rounds']``
+    and the sink-count trajectory.
+    """
+    orientation: Orientation = {}
+    cursor: Dict[int, int] = {}
+
+    def take_bits(v: int, count: int) -> int:
+        offset = cursor.get(v, 0)
+        value = 0
+        for i in range(count):
+            value = (value << 1) | source.bit(v, offset + i)
+        cursor[v] = offset + count
+        return value
+
+    for u, v in graph.edges():
+        a, b = _canonical(u, v)
+        bit = take_bits(a, 1)
+        orientation[(a, b)] = (a, b) if bit else (b, a)
+
+    trajectory: List[int] = []
+    rounds = 0
+    current = sinks(graph, orientation, min_degree)
+    trajectory.append(len(current))
+    while current and rounds < max_rounds:
+        rounds += 1
+        for v in sorted(current):
+            incident = [_canonical(v, u) for u in graph.neighbors(v)]
+            pick = incident[_uniform_below(take_bits, v, len(incident))]
+            other = pick[1] if pick[0] == v else pick[0]
+            orientation[pick] = (v, other)
+        current = sinks(graph, orientation, min_degree)
+        trajectory.append(len(current))
+
+    report = RunReport(
+        rounds=rounds, model="LOCAL", accounted=True,
+        randomness_bits=sum(cursor.values()),
+        notes=["fix-up rounds measured; each round is O(1) LOCAL rounds"],
+    )
+    extra = {"fixup_rounds": rounds, "sink_trajectory": trajectory}
+    if current:
+        return None, report, extra
+    return orientation, report, extra
+
+
+class SinklessFixupProgram:
+    """Engine version of the randomized fix-up (genuine message passing).
+
+    Each node tracks, per incident edge, whether its side is outgoing.
+    Rounds alternate: on *odd* rounds every current sink flips one
+    uniformly chosen incident edge outward and tells that neighbor with
+    a one-word message; on *even* rounds flips are absorbed, and nodes
+    finish together at the (even) horizon — so no flip is ever in
+    flight when anyone halts, and the two endpoints' views of every
+    edge agree at termination (two adjacent sinks can never pick the
+    same edge: an edge cannot point into both of them).
+
+    Output per node: the frozenset of neighbors its edges point to.
+    """
+
+    def __init__(self, min_degree: int = 3, horizon: int = 60):
+        self.min_degree = min_degree
+        # Horizon must be even so the last round is an absorb round.
+        self.horizon = horizon + (horizon % 2)
+
+    def init(self, ctx):
+        # Initial orientation: the lower-index endpoint draws the bit
+        # and announces it (one O(1)-bit message per edge).
+        out = {}
+        ctx.state["outgoing"] = {}
+        for u in ctx.neighbors:
+            if ctx.v < u:
+                bit = ctx.rand_bit()
+                out[u] = ("init", bit)
+                ctx.state["outgoing"][u] = bool(bit)
+        return out
+
+    def step(self, ctx, round_index, inbox):
+        outgoing = ctx.state["outgoing"]
+        for sender, message in inbox.items():
+            if message[0] == "init":
+                # bit=1 meant the sender points at us.
+                outgoing[sender] = not bool(message[1])
+            elif message[0] == "flip":
+                outgoing[sender] = False
+
+        if round_index >= self.horizon:
+            ctx.finish(frozenset(u for u, o in outgoing.items() if o))
+            return {}
+        if round_index % 2 == 1:
+            constrained = ctx.degree >= self.min_degree
+            is_sink = constrained and not any(
+                outgoing.get(u, False) for u in ctx.neighbors)
+            if is_sink:
+                pick = ctx.neighbors[ctx.rand_uniform(ctx.degree)]
+                outgoing[pick] = True
+                return {pick: ("flip",)}
+        return {}
+
+
+def randomized_orientation_engine(graph: DistributedGraph,
+                                  source: RandomSource,
+                                  min_degree: int = 3,
+                                  horizon: int = 60):
+    """Run the fix-up process on the engine; returns (orientation, result).
+
+    The caller should validate with :func:`is_sinkless` — like any
+    fixed-horizon Monte Carlo process, an (exponentially unlikely)
+    non-converged run yields a sink.
+    """
+    from ..sim.engine import CONGEST, SyncEngine
+
+    engine = SyncEngine(
+        graph, lambda _v: SinklessFixupProgram(min_degree, horizon),
+        source=source, model=CONGEST, max_rounds=horizon + 4)
+    result = engine.run()
+    orientation: Orientation = {}
+    for u, v in graph.edges():
+        u_out = v in result.outputs[u]
+        v_out = u in result.outputs[v]
+        assert u_out != v_out, f"inconsistent edge ({u},{v}) at termination"
+        orientation[(u, v)] = (u, v) if u_out else (v, u)
+    return orientation, result
+
+
+def _uniform_below(take_bits, v: int, bound: int) -> int:
+    """Uniform index below ``bound`` by rejection over the node stream."""
+    if bound == 1:
+        return 0
+    width = (bound - 1).bit_length()
+    for _ in range(64):
+        value = take_bits(v, width)
+        if value < bound:
+            return value
+    return 0

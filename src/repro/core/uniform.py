@@ -1,0 +1,88 @@
+"""Uniform algorithms from non-uniform ones: guess-and-double over n.
+
+Section 2 of the paper distinguishes *non-uniform* algorithms (every
+node is given n, or an upper bound, as input) from *uniform* ones (no
+knowledge of n). Definition 2.1 ties correctness to the promised bound;
+Definition 2.2's strict local checkability is what makes the classic
+bridge work:
+
+    guess N = 2, 4, 8, ...; run the non-uniform algorithm with input N;
+    run the (deterministic, d(N)-round) checker; if every node accepts,
+    stop — the solution is correct *regardless of the true n* because
+    the checker verified it outright. Otherwise double N.
+
+The wrapper below implements exactly that. The engine normally refuses
+``n_override < n`` (lying *down* breaks Definition 2.1's promise); the
+wrapper is the one sanctioned consumer of under-estimates, which is why
+it runs the algorithm through a dedicated escape hatch and never
+releases an output the checker did not certify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..checkers.base import LocalChecker
+from ..errors import ConfigurationError
+from ..sim.graph import DistributedGraph
+from ..sim.metrics import RunReport
+
+
+@dataclasses.dataclass
+class UniformRun:
+    """Outcome of the guess-and-double wrapper."""
+
+    outputs: Dict[int, Any]
+    final_guess: int
+    guesses_tried: List[int]
+    report: RunReport
+
+
+def run_uniform(
+    graph: DistributedGraph,
+    algorithm: Callable[[DistributedGraph, int], Tuple[Dict[int, Any], RunReport]],
+    checker: LocalChecker,
+    initial_guess: int = 2,
+    max_guess: Optional[int] = None,
+) -> UniformRun:
+    """Run a non-uniform algorithm uniformly by guess-and-double.
+
+    Parameters
+    ----------
+    algorithm:
+        ``algorithm(graph, claimed_n) -> (outputs, report)``. The
+        callable must parametrize itself by ``claimed_n`` only (not by
+        ``graph.n`` — that would be cheating; tests enforce this by
+        checking the doubling actually happens on under-estimates).
+    checker:
+        The problem's local checker (Definition 2.2); its verdict is the
+        only stopping rule.
+    max_guess:
+        Safety valve; defaults to ``4 * graph.n`` (the loop provably
+        stops once the guess reaches the true n for algorithms whose
+        non-uniform guarantee holds).
+    """
+    if initial_guess < 1:
+        raise ConfigurationError("initial_guess must be >= 1")
+    bound = max_guess if max_guess is not None else 4 * graph.n
+    guess = initial_guess
+    guesses: List[int] = []
+    total = RunReport(model="LOCAL", accounted=True)
+    while guess <= bound:
+        guesses.append(guess)
+        outputs, report = algorithm(graph, guess)
+        total = total.merge(report)
+        verdict = checker.check(graph, outputs)
+        # The checker itself costs d(guess) rounds (Definition 2.2).
+        total = total.merge(RunReport(
+            rounds=checker.radius(guess), accounted=True, model="LOCAL",
+            notes=[f"checker pass at guess N={guess}"]))
+        if verdict.ok:
+            return UniformRun(outputs=outputs, final_guess=guess,
+                              guesses_tried=guesses, report=total)
+        guess *= 2
+    raise ConfigurationError(
+        f"no guess up to {bound} produced a certified solution; the "
+        f"supplied algorithm violates its non-uniform guarantee"
+    )

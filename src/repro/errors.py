@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RandomnessExhausted(ReproError):
+    """A bounded randomness source ran out of bits.
+
+    The paper treats randomness as a scarce resource (Section 3); sources
+    with a finite budget raise this error instead of silently recycling
+    bits, so experiments can detect exactly how much randomness an
+    algorithm consumed.
+    """
+
+
+class BandwidthExceeded(ReproError):
+    """A message exceeded the CONGEST model's bandwidth limit.
+
+    The CONGEST model allows O(log n) bits per message per round
+    (Section 2 of the paper). The engine enforces the configured limit
+    and raises this error on violation.
+    """
+
+
+class ModelViolation(ReproError):
+    """An algorithm violated the rules of the simulated model.
+
+    Examples: sending to a non-neighbor, producing output before
+    termination, or reading state outside the allowed radius in SLOCAL.
+    """
+
+
+class InvalidSolution(ReproError):
+    """A produced solution failed its local checkability test."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters were supplied to an algorithm or source."""
+
+
+class DerandomizationFailure(ReproError):
+    """No seed in the enumerated space succeeded on every instance.
+
+    Raised by the Lemma 4.1 pipeline when the error probability of the
+    supplied randomized algorithm is too large for the instance family,
+    i.e. when the premise of the lemma does not hold empirically.
+    """

@@ -1,0 +1,38 @@
+"""Witness graph families and identifier assignment schemes."""
+
+from .generators import (
+    FAMILIES,
+    caterpillar,
+    cluster_of_cliques,
+    complete_tree,
+    cycle,
+    dumbbell,
+    gnp,
+    grid,
+    make,
+    path,
+    random_regular,
+    random_tree,
+)
+from .ids import SCHEMES, adversarial_path_ids, assign, random_ids, sequential_ids, spread_ids
+
+__all__ = [
+    "FAMILIES",
+    "SCHEMES",
+    "adversarial_path_ids",
+    "assign",
+    "caterpillar",
+    "cluster_of_cliques",
+    "complete_tree",
+    "cycle",
+    "dumbbell",
+    "gnp",
+    "grid",
+    "make",
+    "path",
+    "random_ids",
+    "random_regular",
+    "random_tree",
+    "sequential_ids",
+    "spread_ids",
+]

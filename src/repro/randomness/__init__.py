@@ -1,0 +1,37 @@
+"""Randomness substrate: metered, pluggable sources of random bits.
+
+The paper's Section 3 interpolates between deterministic and randomized
+algorithms along three axes — bits per neighborhood, independence, and
+total shared bits. Each axis is a concrete :class:`RandomSource` here:
+
+================================  ==========================================
+Standard model                    :class:`IndependentSource`
+(A) one bit per h hops            :class:`SparseRandomness`
+(B) k-wise independence           :class:`KWiseSource`
+(C) poly(log n) shared bits       :class:`SharedRandomness`
+Lemma 3.4 small-bias variant      :class:`EpsilonBiasedSource`
+================================  ==========================================
+"""
+
+from .epsilon_biased import EpsilonBiasedSource, degree_for_bias
+from .finite_field import GF2m, inner_product_bits, min_degree_for, supported_degrees
+from .independent import IndependentSource
+from .kwise import KWiseSource
+from .shared import SharedRandomness
+from .source import RandomSource
+from .sparse import SparseRandomness, covering_holders
+
+__all__ = [
+    "EpsilonBiasedSource",
+    "GF2m",
+    "IndependentSource",
+    "KWiseSource",
+    "RandomSource",
+    "SharedRandomness",
+    "SparseRandomness",
+    "covering_holders",
+    "degree_for_bias",
+    "inner_product_bits",
+    "min_degree_for",
+    "supported_degrees",
+]

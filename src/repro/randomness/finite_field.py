@@ -1,0 +1,192 @@
+"""Arithmetic in the binary extension fields GF(2^m).
+
+Both the k-wise independent generator (Theorem 3.5 machinery, [AS04]) and
+the epsilon-biased space (Lemma 3.4 machinery, [NN93]/AGHP) are built from
+polynomial evaluation over GF(2^m). Elements are represented as Python
+integers in ``[0, 2^m)`` whose bits are the coefficients of a polynomial
+over GF(2), reduced modulo a fixed irreducible polynomial.
+
+The irreducible polynomials used here are standard low-weight ones
+(trinomials/pentanomials) from Seroussi's table; they are hard-coded for
+the degrees the library needs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+# Irreducible polynomials over GF(2), keyed by degree m. The value encodes
+# x^m + ... with the leading x^m bit included (bit m set).
+_IRREDUCIBLE = {
+    1: 0b11,                      # x + 1
+    2: 0b111,                     # x^2 + x + 1
+    3: 0b1011,                    # x^3 + x + 1
+    4: 0b10011,                   # x^4 + x + 1
+    5: 0b100101,                  # x^5 + x^2 + 1
+    6: 0b1000011,                 # x^6 + x + 1
+    7: 0b10000011,                # x^7 + x + 1
+    8: 0b100011011,               # x^8 + x^4 + x^3 + x + 1 (AES)
+    9: 0b1000010001,              # x^9 + x^4 + 1
+    10: 0b10000001001,            # x^10 + x^3 + 1
+    11: 0b100000000101,           # x^11 + x^2 + 1
+    12: 0b1000001010011,          # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,         # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,        # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,       # x^15 + x + 1
+    16: 0b10001000000001011,      # x^16 + x^12 + x^3 + x + 1
+    17: 0b100000000000001001,     # x^17 + x^3 + 1
+    18: 0b1000000000010000001,    # x^18 + x^7 + 1
+    19: 0b10000000000000100111,   # x^19 + x^5 + x^2 + x + 1
+    20: 0b100000000000000001001,  # x^20 + x^3 + 1
+    21: 0b1000000000000000000101,   # x^21 + x^2 + 1
+    22: 0b10000000000000000000011,  # x^22 + x + 1
+    23: 0b100000000000000000100001,  # x^23 + x^5 + 1
+    24: 0b1000000000000000010000111,  # x^24 + x^7 + x^2 + x + 1
+    28: 0b10000000000000000000000001001,  # x^28 + x^3 + 1
+    31: 0b10000000000000000000000000001001,  # x^31 + x^3 + 1
+    32: 0b100000000000000000000000010001101,  # x^32+x^7+x^3+x^2+1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) for a supported degree ``m``.
+
+    Instances are lightweight: they carry only the degree and modulus.
+    Field elements are plain integers, which keeps hot loops fast.
+
+    >>> f = GF2m(8)
+    >>> f.mul(0x53, 0xCA)  # the classic AES example
+    1
+    """
+
+    def __init__(self, m: int):
+        if m not in _IRREDUCIBLE:
+            supported = sorted(_IRREDUCIBLE)
+            raise ConfigurationError(
+                f"GF(2^{m}) is not supported; choose m in {supported}"
+            )
+        self.m = m
+        self.modulus = _IRREDUCIBLE[m]
+        self.order = 1 << m
+        self._mask = self.order - 1
+        # Log/antilog tables make mul O(1); only worth the memory for
+        # moderate m, and only if x is a generator of the multiplicative
+        # group (true for the primitive polynomials below; verified at
+        # build time, falling back to carry-less multiplication if not).
+        self._log: list = []
+        self._exp: list = []
+        if m <= 16:
+            self._build_tables()
+
+    def __repr__(self) -> str:
+        return f"GF2m({self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF2m) and other.m == self.m
+
+    def __hash__(self) -> int:
+        return hash(("GF2m", self.m))
+
+    def element(self, value: int) -> int:
+        """Reduce an arbitrary integer into the field by truncation."""
+        return value & self._mask
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR of coefficient vectors)."""
+        return a ^ b
+
+    def _build_tables(self) -> None:
+        """Precompute discrete logs base x (when x generates GF(2^m)*)."""
+        exp = [1]
+        value = 1
+        for _ in range(self.order - 2):
+            value = self._mul_slow(value, 2)  # multiply by x
+            if value == 1:
+                self._log = []
+                self._exp = []
+                return  # x is not primitive for this modulus; keep slow path
+            exp.append(value)
+        log = [0] * self.order
+        for i, v in enumerate(exp):
+            log[v] = i
+        self._exp = exp + exp  # doubled so mul never needs a modulo
+        self._log = log
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication (table-based when available)."""
+        if self._log:
+            if a == 0 or b == 0:
+                return 0
+            return self._exp[self._log[a] + self._log[b]]
+        return self._mul_slow(a, b)
+
+    def _mul_slow(self, a: int, b: int) -> int:
+        """Carry-less multiply then modular reduction."""
+        result = 0
+        x = a
+        while b:
+            if b & 1:
+                result ^= x
+            x <<= 1
+            b >>= 1
+        # Reduction modulo the irreducible polynomial.
+        mod = self.modulus
+        m = self.m
+        top = result.bit_length() - 1
+        while top >= m:
+            result ^= mod << (top - m)
+            top = result.bit_length() - 1
+        return result
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation by square-and-multiply."""
+        if e < 0:
+            raise ConfigurationError("negative exponents require inversion; use inv()")
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via Fermat: a^(2^m - 2)."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        if self._log:
+            return self._exp[(self.order - 1) - self._log[a]]
+        return self.pow(a, self.order - 2)
+
+    def eval_poly(self, coeffs: list, x: int) -> int:
+        """Evaluate a polynomial with the given coefficients at ``x``.
+
+        ``coeffs[0]`` is the constant term. Uses Horner's rule.
+        """
+        acc = 0
+        for c in reversed(coeffs):
+            acc = self.add(self.mul(acc, x), c)
+        return acc
+
+
+def inner_product_bits(a: int, b: int) -> int:
+    """Inner product over GF(2) of the bit representations of ``a``, ``b``.
+
+    Used by the epsilon-biased construction: bit i of the sample is
+    ``<x^i, y>``.
+    """
+    return bin(a & b).count("1") & 1
+
+
+def min_degree_for(points: int) -> int:
+    """Smallest supported field degree whose order is at least ``points``."""
+    for m in sorted(_IRREDUCIBLE):
+        if (1 << m) >= points:
+            return m
+    raise ConfigurationError(f"no supported field with at least {points} elements")
+
+
+def supported_degrees() -> list:
+    """All degrees m for which GF(2^m) arithmetic is available."""
+    return sorted(_IRREDUCIBLE)

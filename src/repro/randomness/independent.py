@@ -1,0 +1,79 @@
+"""Fully independent private randomness — the standard model baseline.
+
+Under the textbook definition, every node holds an unbounded stream of
+independent fair bits. We realize this with one deterministic PRNG stream
+per node, derived from a master seed, so runs are reproducible and the
+source remains a pure function of ``(seed, node, index)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from .source import RandomSource
+
+
+def _derive_stream_seed(master_seed: int, node: object) -> int:
+    """Derive a per-node stream seed from the master seed, stably.
+
+    Uses SHA-256 over the textual key so the mapping does not depend on
+    Python's per-process hash randomization.
+    """
+    key = f"repro-independent:{master_seed}:{node!r}".encode()
+    return int.from_bytes(hashlib.sha256(key).digest(), "big")
+
+
+class _BitStream:
+    """Lazy deterministic bit stream backed by iterated SHA-256 blocks."""
+
+    def __init__(self, stream_seed: int):
+        self._state = stream_seed.to_bytes(32, "big")
+        self._bits: List[int] = []
+
+    def bit(self, index: int) -> int:
+        while len(self._bits) <= index:
+            self._state = hashlib.sha256(self._state).digest()
+            block = int.from_bytes(self._state, "big")
+            self._bits.extend((block >> i) & 1 for i in range(256))
+        return self._bits[index]
+
+
+class IndependentSource(RandomSource):
+    """Unbounded independent private bits for every node.
+
+    This plays the role of "standard randomized algorithms" throughout the
+    paper: full independence, at least one private bit per node, no global
+    coordination.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; two sources with the same seed serve identical bits.
+    bit_budget:
+        Optional global cap on distinct bits served, for experiments that
+        bound total randomness (Section 3 framing).
+    """
+
+    seed_bits: Optional[int] = None  # unbounded
+
+    def __init__(self, seed: int = 0, bit_budget: Optional[int] = None):
+        super().__init__(bit_budget=bit_budget)
+        self.seed = seed
+        self._streams: Dict[object, _BitStream] = {}
+
+    def _raw_bit(self, node: object, index: int) -> int:
+        stream = self._streams.get(node)
+        if stream is None:
+            stream = _BitStream(_derive_stream_seed(self.seed, node))
+            self._streams[node] = stream
+        return stream.bit(index)
+
+    def fork(self, label: str) -> "IndependentSource":
+        """Derive an independent child source (for multi-phase algorithms).
+
+        The child's bits are independent of the parent's for all practical
+        purposes (distinct SHA-256 key spaces), while staying reproducible.
+        """
+        child_seed = _derive_stream_seed(self.seed, f"fork:{label}")
+        return IndependentSource(seed=child_seed, bit_budget=self._bit_budget)

@@ -1,0 +1,114 @@
+"""Globally shared randomness — direction (C) of Section 3.
+
+A :class:`SharedRandomness` object models a public random string of a
+fixed number of bits, visible to every node (and to nobody's advantage:
+there is no private randomness). The paper's headline uses:
+
+* Lemma 3.4 — O(log n) shared bits solve splitting in zero rounds;
+* Theorem 3.6 — poly(log n) shared bits build an
+  (O(log n), O(log² n))-decomposition in CONGEST;
+* Section 3.2 — poly(log n) shared bits expand to poly(n) k-wise
+  independent bits via [AS04], which is what :meth:`expand_kwise` does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from ..errors import ConfigurationError, RandomnessExhausted
+from .kwise import KWiseSource
+from .source import RandomSource
+
+
+class SharedRandomness(RandomSource):
+    """A finite public random string, readable by every node.
+
+    The string is materialized up front (``seed_bits`` bits) so reads can
+    never exceed the declared budget. ``bit(node, index)`` ignores the
+    node argument — the string is global — but keeps the
+    :class:`RandomSource` interface so algorithms are source-agnostic.
+    """
+
+    def __init__(self, num_bits: int, seed: int = 0,
+                 explicit_bits: Optional[List[int]] = None):
+        super().__init__(bit_budget=None)
+        if num_bits < 1:
+            raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
+        self.seed = seed
+        self.seed_bits = num_bits
+        if explicit_bits is not None:
+            if len(explicit_bits) != num_bits:
+                raise ConfigurationError(
+                    f"expected {num_bits} explicit bits, got {len(explicit_bits)}"
+                )
+            if any(b not in (0, 1) for b in explicit_bits):
+                raise ConfigurationError("explicit_bits must contain only 0/1")
+            self._bits = list(explicit_bits)
+        else:
+            self._bits = self._materialize(seed, num_bits)
+
+    @staticmethod
+    def _materialize(seed: int, num_bits: int) -> List[int]:
+        bits: List[int] = []
+        state = hashlib.sha256(f"repro-shared:{seed}".encode()).digest()
+        while len(bits) < num_bits:
+            state = hashlib.sha256(state).digest()
+            block = int.from_bytes(state, "big")
+            bits.extend((block >> i) & 1 for i in range(256))
+        return bits[:num_bits]
+
+    def _raw_bit(self, node: object, index: int) -> int:
+        if not 0 <= index < self.seed_bits:
+            raise RandomnessExhausted(
+                f"shared string has {self.seed_bits} bits; index {index} requested"
+            )
+        return self._bits[index]
+
+    def global_bit(self, index: int) -> int:
+        """Read bit ``index`` of the public string (node-independent)."""
+        return self.bit("__shared__", index)
+
+    def global_bits(self, count: int, offset: int = 0) -> List[int]:
+        """Read ``count`` consecutive public bits starting at ``offset``."""
+        return [self.global_bit(offset + i) for i in range(count)]
+
+    def as_int(self, count: int, offset: int = 0) -> int:
+        """Pack ``count`` public bits into an integer (big-endian)."""
+        value = 0
+        for b in self.global_bits(count, offset):
+            value = (value << 1) | b
+        return value
+
+    def expand_kwise(self, k: int, num_nodes: int, bits_per_node: int,
+                     offset: int = 0) -> KWiseSource:
+        """Deterministically expand shared bits into a k-wise source.
+
+        This is the [AS04] step quoted in Section 3.2: consume
+        ``k * m`` shared bits (``m`` = field degree) as the polynomial
+        coefficients and hand every node a poly(n)-bit k-wise independent
+        stream. Raises :class:`RandomnessExhausted` if the shared string
+        is too short — making the seed-length accounting explicit.
+        """
+        probe = KWiseSource(k, num_nodes, bits_per_node, coefficients=[0] * k)
+        m = probe.field.m
+        needed = k * m
+        coeff_bits = self.global_bits(needed, offset)
+        coeffs = []
+        for i in range(k):
+            value = 0
+            for b in coeff_bits[i * m:(i + 1) * m]:
+                value = (value << 1) | b
+            coeffs.append(value)
+        return KWiseSource(k, num_nodes, bits_per_node, coefficients=coeffs)
+
+    @classmethod
+    def enumerate_all(cls, num_bits: int):
+        """Yield every possible shared string of ``num_bits`` bits.
+
+        The seed-enumeration derandomization of Lemma 4.1 iterates over
+        exactly this space.
+        """
+        for raw in range(1 << num_bits):
+            bits = [(raw >> i) & 1 for i in range(num_bits)]
+            yield cls(num_bits, explicit_bits=bits)

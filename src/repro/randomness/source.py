@@ -1,0 +1,156 @@
+"""Randomness sources as a first-class, metered resource.
+
+Section 3 of the paper views randomness as a scarce resource and asks how
+much of it is needed. To make that question executable, every algorithm in
+this library draws its random bits through a :class:`RandomSource`. A
+source is a deterministic function of its seed: requesting the same
+``(node, index)`` twice returns the same bit. This mirrors the standard
+w.l.o.g. assumption (proof of Lemma 4.1) that each node first fixes its
+random string and then runs deterministically — and it is what makes seed
+enumeration (Lemma 4.1) and lie-about-n (Theorem 4.3) implementable.
+
+The ledger records how many *distinct* bits each node touched, so
+experiments can report exact randomness budgets.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError, RandomnessExhausted
+
+
+class RandomSource(abc.ABC):
+    """Abstract source of per-node random bits.
+
+    Subclasses implement :meth:`_raw_bit`; the public API adds metering,
+    budget enforcement, and derived samplers (uniform integers, geometric
+    variables) built only from bits, so the bit count is the single
+    currency of randomness.
+    """
+
+    #: total independent seed bits behind this source (None = unbounded).
+    seed_bits: Optional[int] = None
+
+    def __init__(self, bit_budget: Optional[int] = None):
+        self._bit_budget = bit_budget
+        self._served: Dict[Tuple[object, int], int] = {}
+        self._per_node_count: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Core bit access
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _raw_bit(self, node: object, index: int) -> int:
+        """Return bit ``index`` of ``node``'s random string (0 or 1)."""
+
+    def bit(self, node: object, index: int) -> int:
+        """Metered access to bit ``index`` of ``node``'s random string."""
+        key = (node, index)
+        cached = self._served.get(key)
+        if cached is not None:
+            return cached
+        if self._bit_budget is not None and self.bits_consumed >= self._bit_budget:
+            raise RandomnessExhausted(
+                f"bit budget of {self._bit_budget} bits exhausted "
+                f"(node {node!r} requested index {index})"
+            )
+        value = self._raw_bit(node, index)
+        if value not in (0, 1):
+            raise ConfigurationError(f"_raw_bit returned non-bit value {value!r}")
+        self._served[key] = value
+        self._per_node_count[node] = self._per_node_count.get(node, 0) + 1
+        return value
+
+    def bits(self, node: object, count: int, offset: int = 0) -> List[int]:
+        """Return ``count`` consecutive bits starting at ``offset``."""
+        return [self.bit(node, offset + i) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Derived samplers
+    # ------------------------------------------------------------------
+    def uniform_int(self, node: object, bound: int, offset: int = 0) -> Tuple[int, int]:
+        """Sample an integer in ``[0, bound)`` from the node's bit stream.
+
+        Uses rejection sampling over ``ceil(log2 bound)`` bits per attempt,
+        which preserves exact uniformity (important for the limited-
+        independence analyses). Returns ``(value, bits_used)`` so callers
+        can advance their stream offset.
+        """
+        if bound <= 0:
+            raise ConfigurationError(f"bound must be positive, got {bound}")
+        if bound == 1:
+            return 0, 0
+        width = (bound - 1).bit_length()
+        used = 0
+        # Cap rejection attempts; the failure probability per attempt is
+        # < 1/2, so 64 attempts fail with probability < 2^-64.
+        for _ in range(64):
+            value = 0
+            for i in range(width):
+                value = (value << 1) | self.bit(node, offset + used)
+                used += 1
+            if value < bound:
+                return value, used
+        raise RandomnessExhausted(
+            f"rejection sampling for bound {bound} did not converge"
+        )
+
+    def bernoulli(self, node: object, numer: int, denom: int,
+                  offset: int = 0) -> Tuple[int, int]:
+        """Sample a Bernoulli(numer/denom) variable from the bit stream.
+
+        Returns ``(outcome, bits_used)``. Exact: draws a uniform value in
+        ``[0, denom)`` and compares against ``numer``.
+        """
+        if not 0 <= numer <= denom:
+            raise ConfigurationError(f"invalid probability {numer}/{denom}")
+        value, used = self.uniform_int(node, denom, offset)
+        return (1 if value < numer else 0), used
+
+    def geometric(self, node: object, cap: int, offset: int = 0) -> Tuple[int, int]:
+        """Sample a Geometric(1/2) variable: Pr[X = k] = 2^-k for k >= 1.
+
+        This is the discrete analog of the exponential shifts in the
+        Elkin–Neiman construction (footnote 8 of the paper): flip fair
+        coins until the first tail; the value is the index of that flip.
+        The value is capped at ``cap`` (the paper caps at Theta(log n),
+        which holds w.h.p. anyway). Returns ``(value, bits_used)``.
+        """
+        if cap < 1:
+            raise ConfigurationError(f"cap must be at least 1, got {cap}")
+        used = 0
+        for k in range(1, cap + 1):
+            flip = self.bit(node, offset + used)
+            used += 1
+            if flip == 0:
+                return k, used
+        return cap, used
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def bits_consumed(self) -> int:
+        """Number of distinct bits served so far, across all nodes."""
+        return len(self._served)
+
+    def bits_consumed_by(self, node: object) -> int:
+        """Number of distinct bits served to one node."""
+        return self._per_node_count.get(node, 0)
+
+    def nodes_touched(self) -> Iterable[object]:
+        """Nodes that have consumed at least one bit."""
+        return self._per_node_count.keys()
+
+    def reset_meter(self) -> None:
+        """Clear the ledger (bits remain a deterministic seed function)."""
+        self._served.clear()
+        self._per_node_count.clear()
+
+    def describe(self) -> str:
+        """One-line human-readable description of the source."""
+        name = type(self).__name__
+        seed = "unbounded" if self.seed_bits is None else f"{self.seed_bits}b seed"
+        return f"{name}({seed}, served={self.bits_consumed})"

@@ -1,0 +1,133 @@
+"""Sparse randomness: one private bit per poly(log n)-hop neighborhood.
+
+Direction (A) of Section 3 (Theorems 3.1 and 3.7): only a subset
+``S ⊆ V`` of nodes hold randomness — a *single* independent bit each —
+and every node has some holder within ``h`` hops. This module provides
+
+* :class:`SparseRandomness` — the source: bits exist only at holders;
+  any other access raises, so an algorithm provably uses nothing else;
+* :func:`covering_holders` — builds a valid holder set for a graph and
+  radius ``h`` (a maximal independent-at-distance set, giving covering
+  radius <= h while keeping holders sparse, the regime the theorems are
+  interesting in).
+
+The paper's premise is that *each holder has one bit*. Algorithms that
+need several bits per region must gather bits from many holders —
+that is exactly what Lemma 3.2's clustering does, and why the
+:meth:`holder_bit` API is deliberately minimal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from ..errors import ConfigurationError, ModelViolation
+from .source import RandomSource
+
+
+def covering_holders(graph: nx.Graph, h: int, *, seed: int = 0,
+                     style: str = "sparse") -> Set:
+    """Choose a holder set with covering radius at most ``h``.
+
+    ``style='sparse'`` greedily builds a set that is ``h``-independent
+    (pairwise distance > h) and maximal, hence dominating at radius
+    ``h`` — the hardest legal regime for Theorem 3.1 since holders are as
+    far apart as allowed. ``style='dense'`` returns all nodes (the
+    standard model, h = 0). The greedy order is seeded for
+    reproducibility.
+    """
+    if h < 0:
+        raise ConfigurationError(f"h must be >= 0, got {h}")
+    graph = getattr(graph, "nx", graph)  # accept DistributedGraph too
+    nodes = sorted(graph.nodes())
+    if style == "dense" or h == 0:
+        return set(nodes)
+    if style != "sparse":
+        raise ConfigurationError(f"unknown style {style!r}")
+
+    def sort_key(v: object) -> int:
+        digest = hashlib.sha256(f"holders:{seed}:{v!r}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    order = sorted(nodes, key=sort_key)
+    holders: Set = set()
+    covered: Set = set()
+    for v in order:
+        if v in covered:
+            continue
+        holders.add(v)
+        # Mark the h-ball of v as covered.
+        ball = nx.single_source_shortest_path_length(graph, v, cutoff=h)
+        covered.update(ball.keys())
+    return holders
+
+
+class SparseRandomness(RandomSource):
+    """One independent private bit per holder node; nothing anywhere else.
+
+    Accessing a bit of a non-holder node, or a second bit of a holder,
+    raises :class:`ModelViolation` — the source *is* the model assumption.
+
+    Parameters
+    ----------
+    holders:
+        The node set S holding one bit each.
+    h:
+        The promised covering radius (recorded for reports; validation
+        against an actual graph is ``verify_covering``).
+    seed:
+        Determines the holders' bits reproducibly.
+    """
+
+    def __init__(self, holders: Iterable, h: int, seed: int = 0):
+        super().__init__(bit_budget=None)
+        self.holders: Set = set(holders)
+        if not self.holders:
+            raise ConfigurationError("holder set must be non-empty")
+        self.h = h
+        self.seed = seed
+        self.seed_bits = len(self.holders)
+        self._values: Dict[object, int] = {}
+        for v in self.holders:
+            digest = hashlib.sha256(f"sparse-bit:{seed}:{v!r}".encode()).digest()
+            self._values[v] = digest[0] & 1
+
+    def _raw_bit(self, node: object, index: int) -> int:
+        if node not in self.holders:
+            raise ModelViolation(
+                f"node {node!r} holds no randomness (not in S); "
+                f"sparse model allows bits only at holders"
+            )
+        if index != 0:
+            raise ModelViolation(
+                f"holder {node!r} has a single bit; index {index} requested"
+            )
+        return self._values[node]
+
+    def holder_bit(self, node: object) -> int:
+        """The single bit of a holder node."""
+        return self.bit(node, 0)
+
+    def verify_covering(self, graph: nx.Graph) -> bool:
+        """Check every node has a holder within ``h`` hops (the premise)."""
+        graph = getattr(graph, "nx", graph)  # accept DistributedGraph too
+        remaining = set(graph.nodes())
+        for s in self.holders:
+            if s not in graph:
+                continue
+            ball = nx.single_source_shortest_path_length(graph, s, cutoff=self.h)
+            remaining.difference_update(ball.keys())
+            if not remaining:
+                return True
+        return not remaining
+
+    @classmethod
+    def for_graph(cls, graph, h: int, seed: int = 0,
+                  style: str = "sparse") -> "SparseRandomness":
+        """Construct holders for ``graph`` (networkx or
+        :class:`~repro.sim.graph.DistributedGraph`) and wrap them."""
+        holders = covering_holders(graph, h, seed=seed, style=style)
+        return cls(holders, h, seed=seed)

@@ -1,0 +1,29 @@
+"""Simulators for the LOCAL, CONGEST and SLOCAL models (Section 2)."""
+
+from .engine import CONGEST, LOCAL, SyncEngine, run_program
+from .graph import DistributedGraph
+from .messages import congest_limit, message_bits
+from .metrics import AlgorithmResult, RunReport
+from .node import NodeContext, NodeProgram
+from .primitives import BFSTree, FloodMin, build_bfs_forest, convergecast_sum
+from .slocal import SLocalSimulator, SLocalView
+
+__all__ = [
+    "AlgorithmResult",
+    "BFSTree",
+    "FloodMin",
+    "build_bfs_forest",
+    "convergecast_sum",
+    "CONGEST",
+    "DistributedGraph",
+    "LOCAL",
+    "NodeContext",
+    "NodeProgram",
+    "RunReport",
+    "SLocalSimulator",
+    "SLocalView",
+    "SyncEngine",
+    "congest_limit",
+    "message_bits",
+    "run_program",
+]

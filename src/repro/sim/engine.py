@@ -1,0 +1,164 @@
+"""The synchronous round engine for the LOCAL and CONGEST models.
+
+Section 2 of the paper: communication happens in synchronous rounds; per
+round each node can send one message to each neighbor. In LOCAL message
+sizes are unbounded; in CONGEST each message carries O(log n) bits. The
+engine executes a :class:`~repro.sim.node.NodeProgram` at every node,
+delivers messages with one-round latency, enforces the bandwidth limit
+in CONGEST mode, and measures rounds/messages/bits.
+
+The ``n_override`` parameter implements the "lie about n" technique of
+Theorems 4.3/4.6: the engine tells every node that the network has
+``N >= n`` nodes while running on the real graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import BandwidthExceeded, ConfigurationError, ModelViolation
+from ..randomness.source import RandomSource
+from .graph import DistributedGraph
+from .messages import congest_limit, message_bits
+from .metrics import AlgorithmResult, RunReport
+from .node import NodeContext, NodeProgram
+
+LOCAL = "LOCAL"
+CONGEST = "CONGEST"
+
+
+class SyncEngine:
+    """Executes one node program per node, in lock-step rounds.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    program_factory:
+        Called once per node (with the node index) to create its program
+        instance; usually just the program class.
+    source:
+        Randomness source, or None for deterministic algorithms.
+    model:
+        ``"LOCAL"`` or ``"CONGEST"``.
+    n_override:
+        Lie to nodes that the network has this many nodes (must be >= n).
+    bandwidth_bits:
+        CONGEST per-message limit; defaults to
+        :func:`~repro.sim.messages.congest_limit` of the claimed n.
+    max_rounds:
+        Safety valve: raise if the algorithm runs longer than this.
+    uniform:
+        Deny nodes access to ``n`` (uniform algorithms, Section 2).
+    """
+
+    def __init__(self, graph: DistributedGraph,
+                 program_factory: Callable[[int], NodeProgram],
+                 source: Optional[RandomSource] = None,
+                 model: str = LOCAL,
+                 n_override: Optional[int] = None,
+                 bandwidth_bits: Optional[int] = None,
+                 max_rounds: int = 100_000,
+                 uniform: bool = False):
+        if model not in (LOCAL, CONGEST):
+            raise ConfigurationError(f"unknown model {model!r}")
+        if n_override is not None and n_override < graph.n:
+            raise ConfigurationError(
+                f"n_override ({n_override}) must be >= actual n ({graph.n}); "
+                f"lying about n only inflates the network (Thm 4.3)"
+            )
+        self.graph = graph
+        self.model = model
+        self.source = source
+        self.claimed_n = n_override if n_override is not None else graph.n
+        if bandwidth_bits is not None:
+            self.bandwidth = bandwidth_bits
+        else:
+            self.bandwidth = congest_limit(self.claimed_n)
+        self.max_rounds = max_rounds
+        self._programs = {v: program_factory(v) for v in graph.nodes()}
+        self._contexts = {
+            v: NodeContext(v, graph.uid(v), graph.neighbors(v),
+                           self.claimed_n, source, uniform=uniform)
+            for v in graph.nodes()
+        }
+
+    def _validate_outbox(self, v: int, outbox: Dict[Any, Any]) -> Dict[int, Any]:
+        """Resolve broadcast, check addressing and bandwidth."""
+        if not outbox:
+            return {}
+        neighbors = set(self.graph.neighbors(v))
+        resolved: Dict[int, Any] = {}
+        for target, payload in outbox.items():
+            if target == NodeProgram.BROADCAST:
+                for u in neighbors:
+                    resolved[u] = payload
+                continue
+            if target not in neighbors:
+                raise ModelViolation(
+                    f"node {v} tried to send to non-neighbor {target!r}"
+                )
+            resolved[target] = payload
+        if self.model == CONGEST:
+            for target, payload in resolved.items():
+                size = message_bits(payload)
+                if size > self.bandwidth:
+                    raise BandwidthExceeded(
+                        f"node {v} -> {target}: message of {size} bits exceeds "
+                        f"CONGEST limit of {self.bandwidth} bits"
+                    )
+        return resolved
+
+    def run(self) -> AlgorithmResult:
+        """Execute until every node finished; return outputs and report."""
+        report = RunReport(model=self.model)
+        before_bits = self.source.bits_consumed if self.source else 0
+
+        # Round 0: init.
+        pending: Dict[int, Dict[int, Any]] = {v: {} for v in self.graph.nodes()}
+        outgoing: Dict[int, Dict[int, Any]] = {}
+        for v in self.graph.nodes():
+            outbox = self._programs[v].init(self._contexts[v]) or {}
+            outgoing[v] = self._validate_outbox(v, outbox)
+
+        round_index = 0
+        while True:
+            if all(self._contexts[v].finished for v in self.graph.nodes()):
+                break
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise ModelViolation(
+                    f"algorithm exceeded max_rounds={self.max_rounds}"
+                )
+            # Deliver round (round_index)'s messages.
+            pending = {v: {} for v in self.graph.nodes()}
+            for sender, outbox in outgoing.items():
+                for target, payload in outbox.items():
+                    pending[target][sender] = payload
+                    report.messages += 1
+                    size = message_bits(payload)
+                    report.total_bits += size
+                    report.max_message_bits = max(report.max_message_bits, size)
+            # Step every live node.
+            outgoing = {}
+            for v in self.graph.nodes():
+                ctx = self._contexts[v]
+                if ctx.finished:
+                    continue
+                outbox = self._programs[v].step(ctx, round_index, pending[v]) or {}
+                outgoing[v] = self._validate_outbox(v, outbox)
+
+        report.rounds = round_index
+        if self.source is not None:
+            report.randomness_bits = self.source.bits_consumed - before_bits
+        outputs = {v: self._contexts[v].output for v in self.graph.nodes()}
+        return AlgorithmResult(outputs=outputs, report=report)
+
+
+def run_program(graph: DistributedGraph, program_cls: type,
+                source: Optional[RandomSource] = None, model: str = LOCAL,
+                **kwargs) -> AlgorithmResult:
+    """Convenience wrapper: run one program class on every node."""
+    engine = SyncEngine(graph, lambda _v: program_cls(), source=source,
+                        model=model, **kwargs)
+    return engine.run()

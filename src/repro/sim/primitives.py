@@ -1,0 +1,129 @@
+"""Classic CONGEST communication primitives as node programs.
+
+The paper's constructions lean on three textbook subroutines — Lemma 3.2
+"a simple flooding of the name of nodes in R", "a simple upcast on the
+tree", and the BFS cluster-growing of Theorem 4.2. This module provides
+them as genuine engine programs so their measured costs (depth + O(1)
+rounds, O(log n)-bit messages) back the accounted figures used by the
+orchestrated pipelines.
+
+* :class:`FloodMin` — every node learns the minimum UID within a given
+  radius (radius rounds; the building block of center adoption);
+* :class:`BFSTree` — builds a BFS tree rooted at marked nodes: every
+  node learns (root uid, parent, depth), ties to the smaller root UID;
+* :func:`convergecast_sum` — upcast an aggregate along a BFS tree to the
+  root (depth rounds), demonstrating the Lemma 3.2 bit-gathering cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .engine import CONGEST, SyncEngine
+from .graph import DistributedGraph
+from .metrics import AlgorithmResult
+from .node import NodeContext, NodeProgram
+
+
+class FloodMin(NodeProgram):
+    """Learn the minimum UID within ``radius`` hops (radius rounds)."""
+
+    def __init__(self, radius: int):
+        if radius < 0:
+            raise ConfigurationError("radius must be >= 0")
+        self.radius = radius
+
+    def init(self, ctx: NodeContext) -> Dict:
+        ctx.state["best"] = ctx.uid
+        if self.radius == 0:
+            ctx.finish(ctx.uid)
+            return {}
+        return {NodeProgram.BROADCAST: ctx.uid}
+
+    def step(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Dict:
+        improved = False
+        for uid in inbox.values():
+            if uid < ctx.state["best"]:
+                ctx.state["best"] = uid
+                improved = True
+        if round_index >= self.radius:
+            ctx.finish(ctx.state["best"])
+            return {}
+        if improved or round_index == 0:
+            return {NodeProgram.BROADCAST: ctx.state["best"]}
+        # Re-broadcast anyway: neighbors joining late still need it. The
+        # message is O(log n) bits, so this stays CONGEST-legal.
+        return {NodeProgram.BROADCAST: ctx.state["best"]}
+
+
+class BFSTree(NodeProgram):
+    """Grow BFS trees from marked roots; adopt the smallest-root-UID wave.
+
+    Output per node: ``(root_uid, parent_index | None, depth)``. Roots
+    are the nodes whose index is in ``roots``. Terminates after
+    ``depth_bound`` rounds (pass the graph's size for full coverage).
+    """
+
+    def __init__(self, roots, depth_bound: int):
+        if depth_bound < 1:
+            raise ConfigurationError("depth_bound must be >= 1")
+        self.roots = set(roots)
+        self.depth_bound = depth_bound
+
+    def init(self, ctx: NodeContext) -> Dict:
+        if ctx.v in self.roots:
+            ctx.state["claim"] = (ctx.uid, None, 0)  # root uid, parent, depth
+            return {NodeProgram.BROADCAST: (ctx.uid, 0)}
+        ctx.state["claim"] = None
+        return {}
+
+    def step(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Dict:
+        best = ctx.state["claim"]
+        changed = False
+        for sender, (root_uid, depth) in inbox.items():
+            offer = (root_uid, sender, depth + 1)
+            if best is None or (offer[0], offer[2]) < (best[0], best[2]):
+                best = offer
+                changed = True
+        ctx.state["claim"] = best
+        if round_index >= self.depth_bound:
+            ctx.finish(best)
+            return {}
+        if changed and best is not None:
+            return {NodeProgram.BROADCAST: (best[0], best[2])}
+        return {}
+
+
+def build_bfs_forest(graph: DistributedGraph, roots,
+                     depth_bound: Optional[int] = None) -> AlgorithmResult:
+    """Run :class:`BFSTree` on the engine (CONGEST)."""
+    bound = depth_bound if depth_bound is not None else graph.n
+    engine = SyncEngine(
+        graph, lambda _v: BFSTree(roots, bound), model=CONGEST,
+        max_rounds=bound + 2)
+    return engine.run()
+
+
+def convergecast_sum(graph: DistributedGraph,
+                     forest: Dict[int, Tuple[int, Optional[int], int]],
+                     value_of: Callable[[int], int]) -> Tuple[Dict[int, int], int]:
+    """Upcast per-node integer values to each tree root (orchestrated).
+
+    ``forest`` maps node -> (root_uid, parent, depth) as produced by
+    :func:`build_bfs_forest`. Returns (root_uid -> sum, rounds) where
+    rounds = max tree depth — the convergecast cost Lemma 3.2 charges.
+    """
+    totals: Dict[int, int] = {}
+    max_depth = 0
+    # Process nodes bottom-up: accumulate into parents.
+    carried = {v: value_of(v) for v in forest}
+    for v, (_root, _parent, depth) in sorted(
+            forest.items(), key=lambda item: -item[1][2]):
+        max_depth = max(max_depth, depth)
+        root_uid, parent, _d = forest[v]
+        if parent is None:
+            totals[root_uid] = totals.get(root_uid, 0) + carried[v]
+        else:
+            carried[parent] += carried[v]
+    return totals, max_depth

@@ -1,0 +1,70 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+from repro.sim.graph import DistributedGraph
+
+# Project-wide hypothesis profile: deterministic-ish, quick, and immune
+# to the slow-first-example health check (graph construction dominates).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # Fixtures used inside @given are stateless (field objects),
+        # so not resetting them between examples is fine.
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def cycle12() -> DistributedGraph:
+    """A 12-cycle with random IDs — the smallest interesting topology."""
+    return assign(make("cycle", 12), "random", seed=3)
+
+
+@pytest.fixture
+def grid36() -> DistributedGraph:
+    """A 6x6 grid."""
+    return assign(make("grid", 36), "random", seed=4)
+
+
+@pytest.fixture
+def gnp60() -> DistributedGraph:
+    """A connected sparse G(n, p) on 60 nodes."""
+    return assign(make("gnp-sparse", 60, seed=5), "random", seed=5)
+
+
+@pytest.fixture
+def dense40() -> DistributedGraph:
+    """A denser G(n, p) on 40 nodes."""
+    return assign(make("gnp-dense", 40, seed=6), "random", seed=6)
+
+
+@pytest.fixture
+def path9() -> DistributedGraph:
+    """A 9-node path."""
+    return assign(make("path", 9), "sequential")
+
+
+@pytest.fixture
+def source() -> IndependentSource:
+    """Fresh independent randomness."""
+    return IndependentSource(seed=2024)
+
+
+def family_graphs(n: int = 40, seed: int = 1):
+    """All named families at size ~n (module-level helper, not a fixture)."""
+    for name in ("path", "cycle", "grid", "gnp-sparse", "gnp-dense",
+                 "tree", "cliques"):
+        yield name, assign(make(name, n, seed=seed), "random", seed=seed)

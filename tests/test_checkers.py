@@ -1,0 +1,199 @@
+"""Local checkers: soundness (reject broken) and completeness (accept valid)."""
+
+import pytest
+
+from repro.checkers import (
+    ColoringChecker,
+    DecompositionChecker,
+    MISChecker,
+    RulingSetChecker,
+    SinklessOrientationChecker,
+    SplittingChecker,
+    decomposition_outputs,
+)
+from repro.core.coloring import coloring_via_decomposition
+from repro.core.decomposition import deterministic_decomposition
+from repro.core.mis import mis_via_decomposition
+from repro.core.ruling_sets import greedy_ruling_set
+from repro.core.sinkless import deterministic_orientation
+from repro.graphs import assign, make, random_regular
+from repro.sim.graph import DistributedGraph
+
+
+class TestMISChecker:
+    def test_accepts_valid(self, gnp60):
+        dec, _ = deterministic_decomposition(gnp60)
+        flags, _ = mis_via_decomposition(gnp60, dec)
+        verdict = MISChecker().check(gnp60, flags)
+        assert verdict.ok and not verdict.rejecting_nodes
+
+    def test_rejects_independence_violation(self, path9):
+        flags = {v: True for v in path9.nodes()}
+        verdict = MISChecker().check(path9, flags)
+        assert not verdict.ok
+
+    def test_rejects_maximality_violation(self, path9):
+        flags = {v: False for v in path9.nodes()}
+        assert not MISChecker().check(path9, flags).ok
+
+    def test_rejects_missing_output(self, path9):
+        flags = {v: (v % 2 == 0) for v in path9.nodes()}
+        del flags[4]
+        assert not MISChecker().check(path9, flags).ok
+
+    def test_isolated_node_must_join(self):
+        import networkx as nx
+        raw = nx.Graph()
+        raw.add_nodes_from([0, 1])
+        raw.add_edge(0, 1)
+        raw.add_node(2)
+        g = DistributedGraph(raw)
+        assert MISChecker().check(g, {0: True, 1: False, 2: True}).ok
+        assert not MISChecker().check(g, {0: True, 1: False, 2: False}).ok
+
+    def test_rejecting_nodes_are_local(self, path9):
+        # Break maximality at one end only; far nodes must still accept.
+        flags = {v: False for v in path9.nodes()}
+        for v in range(3, 9):
+            flags[v] = v % 2 == 1
+        verdict = MISChecker().check(path9, flags)
+        assert not verdict.ok
+        assert set(verdict.rejecting_nodes) <= {0, 1, 2, 3}
+
+
+class TestColoringChecker:
+    def test_accepts_valid(self, dense40):
+        dec, _ = deterministic_decomposition(dense40)
+        colors, _ = coloring_via_decomposition(dense40, dec)
+        checker = ColoringChecker(dense40.max_degree() + 1)
+        assert checker.check(dense40, colors).ok
+
+    def test_rejects_conflict(self, path9):
+        colors = {v: 0 for v in path9.nodes()}
+        assert not ColoringChecker().check(path9, colors).ok
+
+    def test_rejects_palette_overflow(self, path9):
+        colors = {v: v for v in path9.nodes()}
+        assert not ColoringChecker(palette_size=3).check(path9, colors).ok
+
+    def test_rejects_negative_or_non_int(self, path9):
+        colors = {v: (v % 2) for v in path9.nodes()}
+        colors[0] = -1
+        assert not ColoringChecker().check(path9, colors).ok
+        colors[0] = "red"
+        assert not ColoringChecker().check(path9, colors).ok
+
+
+class TestRulingSetChecker:
+    def test_accepts_greedy_output(self, grid36):
+        alpha = 3
+        selected, _ = greedy_ruling_set(grid36, alpha=alpha)
+        outputs = {v: (v in selected) for v in grid36.nodes()}
+        checker = RulingSetChecker(alpha=alpha, beta=alpha - 1)
+        assert checker.check(grid36, outputs).ok
+
+    def test_rejects_too_close_pair(self, path9):
+        outputs = {v: v in (0, 1) for v in path9.nodes()}
+        assert not RulingSetChecker(alpha=3, beta=4).check(path9, outputs).ok
+
+    def test_rejects_undominated(self, path9):
+        outputs = {v: (v == 0) for v in path9.nodes()}
+        assert not RulingSetChecker(alpha=2, beta=2).check(path9, outputs).ok
+
+    def test_nodes_outside_u_are_exempt(self, path9):
+        outputs = {v: None for v in path9.nodes()}
+        outputs[0] = True
+        assert RulingSetChecker(alpha=2, beta=3).check(path9, outputs).ok
+
+
+class TestDecompositionChecker:
+    def test_accepts_valid(self, gnp60):
+        dec, _ = deterministic_decomposition(gnp60)
+        checker = DecompositionChecker(
+            max_colors=dec.num_colors(),
+            max_diameter=dec.max_weak_diameter(gnp60))
+        assert checker.check(gnp60, decomposition_outputs(dec)).ok
+
+    def test_strong_mode_accepts_valid(self, gnp60):
+        dec, _ = deterministic_decomposition(gnp60)
+        checker = DecompositionChecker(
+            max_colors=dec.num_colors(),
+            max_diameter=dec.max_strong_diameter(gnp60), strong=True)
+        assert checker.check(gnp60, decomposition_outputs(dec)).ok
+
+    def test_rejects_adjacent_same_color(self, cycle12):
+        outputs = {v: (v // 3, 0) for v in range(12)}  # all color 0
+        assert not DecompositionChecker(4, 3).check(cycle12, outputs).ok
+
+    def test_rejects_oversized_cluster(self, path9):
+        outputs = {v: (0, 0) for v in path9.nodes()}
+        assert not DecompositionChecker(1, 3).check(path9, outputs).ok
+
+    def test_rejects_color_out_of_range(self, cycle12):
+        outputs = {v: (v // 3, 7) for v in range(12)}
+        assert not DecompositionChecker(3, 3).check(cycle12, outputs).ok
+
+    def test_rejects_malformed_output(self, path9):
+        outputs = {v: "cluster-a" for v in path9.nodes()}
+        assert not DecompositionChecker(2, 9).check(path9, outputs).ok
+
+    def test_radius_is_diameter_plus_one(self, path9):
+        checker = DecompositionChecker(3, 5)
+        assert checker.radius(9) == 6
+
+
+class TestSplittingChecker:
+    def test_accepts_and_rejects(self):
+        import networkx as nx
+        # U = {0}, V = {1, 2}: star.
+        raw = nx.Graph([(0, 1), (0, 2)])
+        g = DistributedGraph(raw)
+        good = {0: "u", 1: 0, 2: 1}
+        bad = {0: "u", 1: 0, 2: 0}
+        assert SplittingChecker().check(g, good).ok
+        assert not SplittingChecker().check(g, bad).ok
+
+    def test_v_node_must_output_color(self):
+        import networkx as nx
+        g = DistributedGraph(nx.Graph([(0, 1), (0, 2)]))
+        outputs = {0: "u", 1: 0, 2: "blue"}
+        assert not SplittingChecker().check(g, outputs).ok
+
+
+class TestSinklessChecker:
+    def test_accepts_valid_orientation(self):
+        g = assign(random_regular(20, 3, seed=1), "random", seed=1)
+        orientation, _ = deterministic_orientation(g)
+        outputs = {v: frozenset() for v in g.nodes()}
+        outs = {v: set() for v in g.nodes()}
+        for (a, b), (tail, head) in orientation.items():
+            outs[tail].add(head)
+        outputs = {v: frozenset(outs[v]) for v in g.nodes()}
+        assert SinklessOrientationChecker().check(g, outputs).ok
+
+    def test_rejects_sink(self):
+        g = assign(random_regular(20, 3, seed=1), "random", seed=1)
+        # All edges point toward node 0's side: make node 0 a sink.
+        outputs = {v: frozenset(u for u in g.neighbors(v) if u != 0)
+                   for v in g.nodes()}
+        # Fix consistency first: edge (u,v) out of exactly one side.
+        outs = {v: set() for v in g.nodes()}
+        for a, b in g.edges():
+            if a == 0:
+                outs[b].add(a)  # points into 0
+            elif b == 0:
+                outs[a].add(b)
+            else:
+                outs[min(a, b)].add(max(a, b))
+        outputs = {v: frozenset(outs[v]) for v in g.nodes()}
+        verdict = SinklessOrientationChecker().check(g, outputs)
+        assert not verdict.ok
+        assert 0 in verdict.rejecting_nodes
+
+    def test_rejects_inconsistent_edge(self):
+        import networkx as nx
+        g = DistributedGraph(nx.path_graph(2))
+        # Both endpoints claim the edge outgoing.
+        outputs = {0: frozenset({1}), 1: frozenset({0})}
+        assert not SinklessOrientationChecker(min_degree=3).check(
+            g, outputs).ok

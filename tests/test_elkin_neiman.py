@@ -1,0 +1,145 @@
+"""The Elkin–Neiman decomposition: validity, bounds, determinism."""
+
+import math
+
+import pytest
+
+from repro.core.decomposition import (
+    default_cap,
+    default_phases,
+    elkin_neiman,
+    en_phases_on_nx,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+
+from .conftest import family_graphs
+
+
+class TestValidity:
+    def test_valid_on_all_families(self):
+        for name, g in family_graphs(48, seed=2):
+            dec, report, extra = elkin_neiman(
+                g, IndependentSource(seed=11), finish="strict")
+            assert dec is not None, name
+            assert dec.violations(g) == [], name
+
+    def test_colors_at_most_phases(self, gnp60, source):
+        phases = default_phases(gnp60.n)
+        dec, _r, _e = elkin_neiman(gnp60, source, phases=phases)
+        assert dec.num_colors() <= phases
+
+    def test_strong_diameter_at_most_2cap(self, gnp60, source):
+        cap = default_cap(gnp60.n)
+        dec, _r, _e = elkin_neiman(gnp60, source, cap=cap)
+        assert dec.max_strong_diameter(gnp60) <= 2 * cap
+
+    def test_logarithmic_bounds_hold(self):
+        g = assign(make("gnp-sparse", 128, seed=4), "random", seed=4)
+        dec, _r, _e = elkin_neiman(g, IndependentSource(seed=5))
+        logn = math.ceil(math.log2(g.n))
+        assert dec.num_colors() <= 10 * logn
+        assert dec.max_strong_diameter(g) <= 20 * logn
+
+    def test_clusters_are_connected(self, gnp60, source):
+        import networkx as nx
+        dec, _r, _e = elkin_neiman(gnp60, source)
+        for members in dec.clusters().values():
+            assert nx.is_connected(gnp60.induced(members))
+
+
+class TestModes:
+    def test_strict_returns_none_on_failure(self, cycle12):
+        # One phase with tiny cap: some nodes stay unclustered w.h.p.
+        dec, _r, extra = elkin_neiman(
+            cycle12, IndependentSource(seed=1), phases=1, cap=1,
+            finish="strict")
+        if extra["unclustered"]:
+            assert dec is None
+        else:
+            assert dec is not None  # got lucky; still consistent
+
+    def test_singletons_mode_always_returns(self, cycle12):
+        dec, _r, extra = elkin_neiman(
+            cycle12, IndependentSource(seed=1), phases=1, cap=1,
+            finish="singletons")
+        assert dec is not None
+        assert dec.violations(cycle12) == []
+        assert set(dec.cluster_of) == set(cycle12.nodes())
+
+    def test_unknown_finish_mode(self, cycle12, source):
+        with pytest.raises(ConfigurationError):
+            elkin_neiman(cycle12, source, finish="retry")
+
+    def test_invalid_phase_cap(self, cycle12, source):
+        import networkx as nx
+        with pytest.raises(ConfigurationError):
+            en_phases_on_nx(nx.path_graph(3), lambda v, p: 1, 0, 4)
+        with pytest.raises(ConfigurationError):
+            en_phases_on_nx(nx.path_graph(3), lambda v, p: 1, 4, 0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decomposition(self, gnp60):
+        d1, _r1, _e1 = elkin_neiman(gnp60, IndependentSource(seed=7))
+        d2, _r2, _e2 = elkin_neiman(gnp60, IndependentSource(seed=7))
+        assert d1.cluster_of == d2.cluster_of
+        assert d1.color_of == d2.color_of
+
+    def test_different_seeds_differ(self, gnp60):
+        d1, _r1, _e1 = elkin_neiman(gnp60, IndependentSource(seed=7))
+        d2, _r2, _e2 = elkin_neiman(gnp60, IndependentSource(seed=8))
+        assert d1.cluster_of != d2.cluster_of
+
+    def test_report_accounting(self, gnp60, source):
+        phases = 8
+        cap = 6
+        _d, report, _e = elkin_neiman(gnp60, source, phases=phases, cap=cap)
+        assert report.accounted
+        assert report.rounds == phases * (cap + 2)
+        assert report.randomness_bits > 0
+
+    def test_colors_are_contiguous(self, gnp60, source):
+        dec, _r, _e = elkin_neiman(gnp60, source)
+        colors = dec.colors_used()
+        assert colors == list(range(len(colors)))
+
+
+class TestPhaseCore:
+    def test_single_giant_radius_clusters_everything(self):
+        """One center with a huge shift swallows the whole graph."""
+        import networkx as nx
+        g = nx.path_graph(7)
+        draws = {3: 100}
+
+        def draw(v, phase):
+            return draws.get(v, 1)
+
+        assignment, remaining = en_phases_on_nx(g, draw, 1, 100)
+        assert not remaining
+        assert {a for a in assignment.values()} == {(0, 3)}
+
+    def test_equal_radii_cluster_nobody(self):
+        """All-equal shifts produce gap <= 1 everywhere (the k=1 failure)."""
+        import networkx as nx
+        g = nx.cycle_graph(8)
+        assignment, remaining = en_phases_on_nx(g, lambda v, p: 3, 4, 10)
+        assert len(remaining) == 8
+        assert not assignment
+
+    def test_gap_rule_respects_second_center(self):
+        """Two centers at the ends of a path: the midpoint has gap 0."""
+        import networkx as nx
+        g = nx.path_graph(5)
+        draws = {0: 3, 4: 3}
+
+        def draw(v, phase):
+            return draws.get(v, 0) if phase == 0 else 0
+
+        assignment, remaining = en_phases_on_nx(g, draw, 1, 10)
+        # Node 2 sees 3-2=1 from both: m1=m2 -> unclustered. Nodes 0, 1
+        # see 3, 2 vs 1, 0: gap 2 -> clustered with center 0.
+        assert assignment.get(0) == (0, 0)
+        assert assignment.get(1) == (0, 0)
+        assert 2 in remaining

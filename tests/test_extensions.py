@@ -1,0 +1,91 @@
+"""Extensions: MIS-based ruling sets, tree orientations, ablation tables."""
+
+import pytest
+
+from repro.analysis.ablations import ABLATIONS, a1_gap_rule
+from repro.core.ruling_sets import ruling_set_via_mis, verify_ruling_set
+from repro.core.sinkless import is_sinkless, tree_orientation
+from repro.errors import ConfigurationError
+from repro.graphs import assign, complete_tree, make, random_tree
+from repro.randomness import IndependentSource
+
+
+class TestRulingSetViaMIS:
+    @pytest.mark.parametrize("alpha", [2, 3, 4])
+    def test_valid_ruling_set(self, gnp60, alpha):
+        selected, report = ruling_set_via_mis(gnp60, alpha, seed=7)
+        assert verify_ruling_set(gnp60, selected, alpha, alpha - 1) == []
+        assert report.rounds > 0
+
+    def test_alpha_two_is_plain_mis(self, dense40):
+        from repro.core.mis import is_valid_mis
+
+        selected, _rep = ruling_set_via_mis(dense40, 2, seed=3)
+        flags = {v: v in selected for v in dense40.nodes()}
+        assert is_valid_mis(dense40, flags)
+
+    def test_randomness_flows_through(self, gnp60):
+        source = IndependentSource(seed=11)
+        _s, report = ruling_set_via_mis(gnp60, 3, source=source)
+        assert report.randomness_bits > 0
+        assert source.bits_consumed == report.randomness_bits
+
+    def test_validates_alpha(self, gnp60):
+        with pytest.raises(ConfigurationError):
+            ruling_set_via_mis(gnp60, 1)
+
+    def test_agrees_with_greedy_on_invariants(self, grid36):
+        from repro.core.ruling_sets import greedy_ruling_set
+
+        alpha = 3
+        mis_based, _ = ruling_set_via_mis(grid36, alpha, seed=5)
+        greedy, _ = greedy_ruling_set(grid36, alpha)
+        for s in (mis_based, greedy):
+            assert verify_ruling_set(grid36, s, alpha, alpha - 1) == []
+
+
+class TestTreeOrientation:
+    @pytest.mark.parametrize("branching,height", [(2, 3), (3, 2), (4, 2)])
+    def test_complete_trees(self, branching, height):
+        g = assign(complete_tree(branching, height), "random", seed=2)
+        orientation, report = tree_orientation(g)
+        assert is_sinkless(g, orientation)
+        assert report.rounds >= height
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_trees(self, seed):
+        g = assign(random_tree(40, seed=seed), "random", seed=seed)
+        orientation, _ = tree_orientation(g)
+        assert is_sinkless(g, orientation)
+
+    def test_path_is_trivially_fine(self, path9):
+        orientation, _ = tree_orientation(path9)
+        assert is_sinkless(path9, orientation)
+
+    def test_rejects_cycles(self, cycle12):
+        with pytest.raises(ConfigurationError):
+            tree_orientation(cycle12)
+
+    def test_deterministic(self):
+        g = assign(random_tree(30, seed=7), "random", seed=7)
+        o1, _ = tree_orientation(g)
+        o2, _ = tree_orientation(g)
+        assert o1 == o2
+
+
+class TestAblations:
+    def test_registry(self):
+        assert sorted(ABLATIONS) == ["a1", "a2", "a3"]
+
+    def test_a1_shows_the_gap_rule_matters(self):
+        table = a1_gap_rule(quick=True, seed=3)
+        by_rule = {row["rule"]: row for row in table.rows}
+        assert by_rule["paper (gap > 1)"]["valid rate"] > \
+            by_rule["ablated (gap > 0)"]["valid rate"]
+
+    def test_e11_registered(self):
+        from repro.analysis import EXPERIMENTS
+
+        assert "e11" in EXPERIMENTS
+        table = EXPERIMENTS["e11"](quick=True, seed=3)
+        assert all(row["final guess N"] >= row["n"] for row in table.rows)

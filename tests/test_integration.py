@@ -1,0 +1,112 @@
+"""Cross-module pipelines: end-to-end flows the paper composes."""
+
+import pytest
+
+from repro.checkers import (
+    ColoringChecker,
+    DecompositionChecker,
+    MISChecker,
+    decomposition_outputs,
+)
+from repro.core.coloring import coloring_via_decomposition, is_proper_coloring
+from repro.core.decomposition import (
+    elkin_neiman,
+    shared_randomness_decomposition,
+    shattering_decomposition,
+    sparse_bits_decomposition,
+    sparse_bits_strong_decomposition,
+)
+from repro.core.mis import is_valid_mis, luby_mis, mis_via_decomposition, slocal_greedy_mis
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource, SparseRandomness
+
+
+class TestSparseToConsumers:
+    """Theorem 3.1/3.7 -> decomposition -> MIS/coloring -> checkers."""
+
+    def test_full_pipeline_weak(self, grid36):
+        source = SparseRandomness.for_graph(grid36, h=1, seed=3)
+        dec, _r, _e = sparse_bits_decomposition(
+            grid36, source, spacing=6, strict=False)
+        flags, _ = mis_via_decomposition(grid36, dec)
+        assert is_valid_mis(grid36, flags)
+        assert MISChecker().check(grid36, flags).ok
+
+    def test_full_pipeline_strong(self, grid36):
+        source = SparseRandomness.for_graph(grid36, h=1, seed=4)
+        dec, _r, _e = sparse_bits_strong_decomposition(
+            grid36, source, spacing=6, strict=False)
+        colors, _ = coloring_via_decomposition(grid36, dec)
+        palette = grid36.max_degree() + 1
+        assert is_proper_coloring(grid36, colors, palette)
+        assert ColoringChecker(palette).check(grid36, colors).ok
+
+    def test_the_entire_randomness_is_sparse(self, grid36):
+        """Nothing in the pipeline may touch a non-holder bit."""
+        source = SparseRandomness.for_graph(grid36, h=2, seed=5)
+        sparse_bits_decomposition(grid36, source, spacing=8, strict=False)
+        assert set(source.nodes_touched()) <= source.holders
+        assert source.bits_consumed <= len(source.holders)
+
+
+class TestSharedToConsumers:
+    def test_shared_decomposition_feeds_coloring(self, gnp60):
+        dec, _r, extra = shared_randomness_decomposition(
+            gnp60, seed=6, strict=False)
+        colors, _ = coloring_via_decomposition(gnp60, dec)
+        assert is_proper_coloring(gnp60, colors, gnp60.max_degree() + 1)
+
+    def test_decomposition_checker_accepts_shared_output(self, gnp60):
+        dec, _r, _e = shared_randomness_decomposition(
+            gnp60, seed=7, strict=False)
+        checker = DecompositionChecker(
+            max_colors=dec.num_colors(),
+            max_diameter=dec.max_weak_diameter(gnp60))
+        assert checker.check(gnp60, decomposition_outputs(dec)).ok
+
+
+class TestShatteringToConsumers:
+    def test_shattered_decomposition_is_consumable(self):
+        g = assign(make("grid", 100, seed=3), "random", seed=3)
+        dec, _r, extra = shattering_decomposition(
+            g, IndependentSource(seed=77), en_phases=3, cap=6)
+        flags, _ = mis_via_decomposition(g, dec)
+        assert is_valid_mis(g, flags)
+
+
+class TestCrossAlgorithmConsistency:
+    def test_luby_and_slocal_both_maximal(self, gnp60):
+        luby = luby_mis(gnp60, IndependentSource(seed=8)).outputs
+        greedy = slocal_greedy_mis(gnp60).outputs
+        assert is_valid_mis(gnp60, luby)
+        assert is_valid_mis(gnp60, greedy)
+        # Different algorithms, same invariants; sizes are comparable.
+        assert abs(sum(luby.values()) - sum(greedy.values())) <= gnp60.n // 2
+
+    def test_en_vs_shared_vs_deterministic_quality(self, gnp60):
+        from repro.core.decomposition import deterministic_decomposition
+        results = {}
+        dec, _r, _e = elkin_neiman(gnp60, IndependentSource(seed=9))
+        results["en"] = dec
+        dec, _r, _e = shared_randomness_decomposition(
+            gnp60, seed=10, strict=False)
+        results["shared"] = dec
+        dec, _r = deterministic_decomposition(gnp60)
+        results["det"] = dec
+        for name, dec in results.items():
+            assert dec.violations(gnp60) == [], name
+
+
+class TestReproducibilityEndToEnd:
+    def test_everything_is_a_function_of_seeds(self):
+        """One seed tuple -> byte-identical pipeline outputs."""
+
+        def pipeline(seed):
+            g = assign(make("gnp-sparse", 50, seed=seed), "random", seed=seed)
+            dec, _r, _e = elkin_neiman(g, IndependentSource(seed=seed + 1))
+            flags, _ = mis_via_decomposition(g, dec)
+            colors, _ = coloring_via_decomposition(g, dec)
+            return dec.cluster_of, flags, colors
+
+        assert pipeline(4) == pipeline(4)
+        assert pipeline(4) != pipeline(5)

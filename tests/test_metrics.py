@@ -1,0 +1,68 @@
+"""RunReport composition and AlgorithmResult accessors."""
+
+from repro.sim.metrics import AlgorithmResult, RunReport
+
+
+class TestRunReport:
+    def test_merge_adds_costs(self):
+        a = RunReport(rounds=10, messages=5, total_bits=100,
+                      max_message_bits=20, randomness_bits=7)
+        b = RunReport(rounds=3, messages=2, total_bits=50,
+                      max_message_bits=40, randomness_bits=1)
+        merged = a.merge(b)
+        assert merged.rounds == 13
+        assert merged.messages == 7
+        assert merged.total_bits == 150
+        assert merged.max_message_bits == 40  # max, not sum
+        assert merged.randomness_bits == 8
+
+    def test_merge_accounted_is_sticky(self):
+        measured = RunReport(accounted=False)
+        accounted = RunReport(accounted=True)
+        assert measured.merge(accounted).accounted
+        assert accounted.merge(measured).accounted
+        assert not measured.merge(RunReport()).accounted
+
+    def test_merge_model_mixing(self):
+        local = RunReport(model="LOCAL")
+        congest = RunReport(model="CONGEST")
+        assert local.merge(local).model == "LOCAL"
+        assert local.merge(congest).model == "MIXED"
+
+    def test_merge_concatenates_notes(self):
+        a = RunReport(notes=["first"])
+        b = RunReport(notes=["second"])
+        assert a.merge(b).notes == ["first", "second"]
+
+    def test_annotate_chains(self):
+        report = RunReport().annotate("x").annotate("y")
+        assert report.notes == ["x", "y"]
+
+    def test_summary_keys(self):
+        summary = RunReport(rounds=4, model="CONGEST").summary()
+        assert summary["rounds"] == 4
+        assert summary["model"] == "CONGEST"
+        assert set(summary) == {
+            "rounds", "messages", "total_bits", "max_message_bits",
+            "randomness_bits", "accounted", "model",
+        }
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = RunReport(rounds=1, notes=["a"])
+        b = RunReport(rounds=2, notes=["b"])
+        a.merge(b)
+        assert a.rounds == 1 and a.notes == ["a"]
+        assert b.rounds == 2 and b.notes == ["b"]
+
+
+class TestAlgorithmResult:
+    def test_output_accessor(self):
+        result = AlgorithmResult(outputs={0: "x", 1: "y"},
+                                 report=RunReport())
+        assert result.output_of(1) == "y"
+
+    def test_extra_defaults_empty(self):
+        result = AlgorithmResult(outputs={}, report=RunReport())
+        assert result.extra == {}
+        result.extra["k"] = 1
+        assert result.extra["k"] == 1

@@ -1,0 +1,138 @@
+"""MIS and coloring algorithms across graphs, seeds, and models."""
+
+import pytest
+
+from repro.checkers import ColoringChecker, MISChecker
+from repro.core.coloring import (
+    coloring_via_decomposition,
+    is_proper_coloring,
+    trial_coloring,
+)
+from repro.core.decomposition import deterministic_decomposition, elkin_neiman
+from repro.core.mis import (
+    is_valid_mis,
+    luby_mis,
+    mis_via_decomposition,
+    slocal_greedy_mis,
+)
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+
+from .conftest import family_graphs
+
+
+class TestLubyMIS:
+    def test_valid_on_all_families(self):
+        for name, g in family_graphs(40, seed=4):
+            result = luby_mis(g, IndependentSource(seed=21))
+            assert is_valid_mis(g, result.outputs), name
+            assert MISChecker().check(g, result.outputs).ok, name
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_valid_across_seeds(self, dense40, seed):
+        result = luby_mis(dense40, IndependentSource(seed=seed))
+        assert is_valid_mis(dense40, result.outputs)
+
+    def test_rounds_logarithmic(self):
+        g = assign(make("gnp-dense", 150, seed=2), "random", seed=2)
+        result = luby_mis(g, IndependentSource(seed=3))
+        # 3 engine rounds per Luby iteration; O(log n) iterations w.h.p.
+        assert result.report.rounds <= 3 * 4 * 8
+
+    def test_congest_messages(self, dense40):
+        result = luby_mis(dense40, IndependentSource(seed=4))
+        from repro.sim.messages import congest_limit
+        assert result.report.max_message_bits <= congest_limit(dense40.n)
+
+    def test_deterministic_given_seed(self, gnp60):
+        r1 = luby_mis(gnp60, IndependentSource(seed=5))
+        r2 = luby_mis(gnp60, IndependentSource(seed=5))
+        assert r1.outputs == r2.outputs
+
+    def test_single_node_graph(self):
+        g = assign(make("path", 1), "sequential")
+        result = luby_mis(g, IndependentSource(seed=1))
+        assert result.outputs[0] is True
+
+
+class TestSLocalMIS:
+    def test_valid_on_all_families(self):
+        for name, g in family_graphs(40, seed=5):
+            result = slocal_greedy_mis(g)
+            assert is_valid_mis(g, result.outputs), name
+
+    def test_respects_order(self, path9):
+        result = slocal_greedy_mis(path9, order=list(range(9)))
+        # Greedy on a path in order: 0, 2, 4, 6, 8.
+        assert [v for v in range(9) if result.outputs[v]] == [0, 2, 4, 6, 8]
+
+    def test_report_is_slocal(self, path9):
+        result = slocal_greedy_mis(path9)
+        assert result.report.model == "SLOCAL"
+
+
+class TestMISViaDecomposition:
+    def test_valid_with_deterministic_decomposition(self):
+        for name, g in family_graphs(40, seed=6):
+            dec, _ = deterministic_decomposition(g)
+            flags, report = mis_via_decomposition(g, dec)
+            assert is_valid_mis(g, flags), name
+            assert report.accounted
+
+    def test_valid_with_randomized_decomposition(self, gnp60):
+        dec, _r, _e = elkin_neiman(gnp60, IndependentSource(seed=6))
+        flags, _rep = mis_via_decomposition(gnp60, dec)
+        assert is_valid_mis(gnp60, flags)
+
+    def test_rounds_scale_with_colors_and_diameter(self, gnp60):
+        dec, _ = deterministic_decomposition(gnp60)
+        _f, report = mis_via_decomposition(gnp60, dec)
+        diam = max(gnp60.weak_diameter(m) for m in dec.clusters().values())
+        assert report.rounds == dec.num_colors() * (diam + 2)
+
+
+class TestTrialColoring:
+    def test_valid_on_all_families(self):
+        for name, g in family_graphs(40, seed=7):
+            result = trial_coloring(g, IndependentSource(seed=31))
+            assert is_proper_coloring(g, result.outputs,
+                                      g.max_degree() + 1), name
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_valid_across_seeds(self, dense40, seed):
+        result = trial_coloring(dense40, IndependentSource(seed=seed))
+        assert is_proper_coloring(dense40, result.outputs,
+                                  dense40.max_degree() + 1)
+        assert ColoringChecker(dense40.max_degree() + 1).check(
+            dense40, result.outputs).ok
+
+    def test_palette_is_degree_plus_one_locally(self, path9):
+        result = trial_coloring(path9, IndependentSource(seed=2))
+        for v in path9.nodes():
+            assert 0 <= result.outputs[v] <= path9.degree(v)
+
+
+class TestColoringViaDecomposition:
+    def test_valid_everywhere(self):
+        for name, g in family_graphs(40, seed=8):
+            dec, _ = deterministic_decomposition(g)
+            colors, _rep = coloring_via_decomposition(g, dec)
+            assert is_proper_coloring(g, colors, g.max_degree() + 1), name
+
+    def test_deterministic(self, gnp60):
+        dec, _ = deterministic_decomposition(gnp60)
+        c1, _ = coloring_via_decomposition(gnp60, dec)
+        c2, _ = coloring_via_decomposition(gnp60, dec)
+        assert c1 == c2
+
+    def test_is_proper_coloring_helper(self, path9):
+        good = {v: v % 2 for v in path9.nodes()}
+        assert is_proper_coloring(path9, good)
+        assert is_proper_coloring(path9, good, palette_size=2)
+        assert not is_proper_coloring(path9, good, palette_size=1)
+        bad = dict(good)
+        bad[1] = 0
+        assert not is_proper_coloring(path9, bad)
+        missing = dict(good)
+        del missing[0]
+        assert not is_proper_coloring(path9, missing)

@@ -1,0 +1,134 @@
+"""Engine primitives and the message-passing Elkin–Neiman program."""
+
+import pytest
+
+from repro.core.decomposition import elkin_neiman
+from repro.core.decomposition.en_program import ENProgram, en_engine_decomposition
+from repro.errors import ConfigurationError
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+from repro.sim import CONGEST, SyncEngine, run_program
+from repro.sim.messages import congest_limit
+from repro.sim.primitives import (
+    BFSTree,
+    FloodMin,
+    build_bfs_forest,
+    convergecast_sum,
+)
+
+from .conftest import family_graphs
+
+
+class TestFloodMin:
+    def test_learns_radius_ball_minimum(self, grid36):
+        radius = 3
+        result = SyncEngine(
+            grid36, lambda _v: FloodMin(radius), model=CONGEST).run()
+        for v in grid36.nodes():
+            expected = min(grid36.uid(u) for u in grid36.ball(v, radius))
+            assert result.outputs[v] == expected
+
+    def test_radius_zero_is_self(self, path9):
+        result = SyncEngine(path9, lambda _v: FloodMin(0)).run()
+        assert all(result.outputs[v] == path9.uid(v) for v in path9.nodes())
+
+    def test_takes_exactly_radius_rounds(self, path9):
+        result = SyncEngine(path9, lambda _v: FloodMin(4)).run()
+        assert result.report.rounds == 4
+
+    def test_validates_radius(self):
+        with pytest.raises(ConfigurationError):
+            FloodMin(-1)
+
+
+class TestBFSTree:
+    def test_single_root_depths(self, grid36):
+        result = build_bfs_forest(grid36, roots=[0])
+        for v in grid36.nodes():
+            root_uid, parent, depth = result.outputs[v]
+            assert root_uid == grid36.uid(0)
+            assert depth == grid36.distance(0, v)
+            if v != 0:
+                assert parent in grid36.neighbors(v)
+                assert result.outputs[parent][2] == depth - 1
+
+    def test_multi_root_nearest_or_smaller_uid(self, path9):
+        result = build_bfs_forest(path9, roots=[0, 8])
+        for v in path9.nodes():
+            root_uid, _parent, depth = result.outputs[v]
+            assert depth == min(path9.distance(0, v), path9.distance(8, v)) \
+                or root_uid == min(path9.uid(0), path9.uid(8))
+
+    def test_parent_pointers_form_forest(self, gnp60):
+        result = build_bfs_forest(gnp60, roots=[0, 1])
+        # Walking parents must terminate at a root.
+        for v in gnp60.nodes():
+            seen = set()
+            cur = v
+            while True:
+                assert cur not in seen
+                seen.add(cur)
+                _root, parent, _depth = result.outputs[cur]
+                if parent is None:
+                    break
+                cur = parent
+
+    def test_validates_depth_bound(self):
+        with pytest.raises(ConfigurationError):
+            BFSTree([0], 0)
+
+
+class TestConvergecast:
+    def test_sums_match_cluster_sizes(self, grid36):
+        result = build_bfs_forest(grid36, roots=[0, 35])
+        totals, rounds = convergecast_sum(
+            grid36, result.outputs, value_of=lambda v: 1)
+        assert sum(totals.values()) == grid36.n
+        assert rounds <= grid36.n
+
+    def test_weighted_sum(self, path9):
+        result = build_bfs_forest(path9, roots=[0])
+        totals, _rounds = convergecast_sum(
+            path9, result.outputs, value_of=lambda v: v)
+        assert totals[path9.uid(0)] == sum(range(9))
+
+
+class TestENEngineProgram:
+    def test_valid_on_families(self):
+        for name, g in family_graphs(36, seed=9):
+            dec, result = en_engine_decomposition(
+                g, IndependentSource(seed=13), strict=False)
+            assert dec.violations(g) == [], name
+
+    def test_congest_messages_within_limit(self, gnp60):
+        _dec, result = en_engine_decomposition(
+            gnp60, IndependentSource(seed=14), strict=False)
+        assert result.report.max_message_bits <= congest_limit(gnp60.n)
+
+    def test_measured_rounds_match_structure(self, cycle12):
+        phases, cap = 6, 5
+        _dec, result = en_engine_decomposition(
+            cycle12, IndependentSource(seed=15), phases=phases, cap=cap,
+            strict=False)
+        assert result.report.rounds <= phases * (cap + 2) + 1
+
+    def test_agrees_with_orchestrated_invariants(self, gnp60):
+        """Engine and orchestrated EN satisfy the same bounds."""
+        phases, cap = 30, 10
+        dec_e, _res = en_engine_decomposition(
+            gnp60, IndependentSource(seed=16), phases=phases, cap=cap,
+            strict=False)
+        dec_o, _r, _e = elkin_neiman(
+            gnp60, IndependentSource(seed=16), phases=phases, cap=cap,
+            finish="singletons")
+        for dec in (dec_e, dec_o):
+            assert dec.is_valid(gnp60)
+            assert dec.num_colors() <= phases + gnp60.n
+            assert dec.max_strong_diameter(gnp60) <= 2 * cap
+
+    def test_strict_mode(self, cycle12):
+        dec, result = en_engine_decomposition(
+            cycle12, IndependentSource(seed=17), phases=1, cap=1,
+            strict=True)
+        if result.extra["unclustered"]:
+            assert dec is None

@@ -1,0 +1,94 @@
+"""The SLOCAL simulator: views, locality enforcement, greedy algorithms."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelViolation
+from repro.sim import SLocalSimulator
+
+
+class TestViews:
+    def test_view_radius_is_enforced_by_construction(self, path9):
+        seen = {}
+
+        def decide(view):
+            seen[view.center] = set(view.nodes)
+            return True
+
+        SLocalSimulator(path9, locality=2, decide=decide).run()
+        for v, visible in seen.items():
+            expected = set(path9.ball(v, 2))
+            assert visible == expected
+
+    def test_view_contains_uids_and_topology(self, cycle12):
+        def decide(view):
+            assert view.center in view.uids
+            for a, b in view.topology:
+                assert a in view.nodes and b in view.nodes
+            return True
+
+        SLocalSimulator(cycle12, locality=1, decide=decide).run()
+
+    def test_records_accumulate_in_order(self, path9):
+        def decide(view):
+            processed = [u for u in view.nodes if u in view.records]
+            return len(processed)
+
+        result = SLocalSimulator(path9, locality=1, decide=decide).run(
+            order=list(range(9)))
+        # Node 0 sees nothing processed; node 1 sees node 0; etc.
+        assert result.outputs[0] == 0
+        assert result.outputs[1] == 1
+
+    def test_locality_zero_sees_only_self(self, path9):
+        def decide(view):
+            return sorted(view.nodes) == [view.center]
+
+        result = SLocalSimulator(path9, locality=0, decide=decide).run()
+        assert all(result.outputs.values())
+
+
+class TestValidation:
+    def test_order_must_be_permutation(self, path9):
+        sim = SLocalSimulator(path9, locality=1, decide=lambda v: True)
+        with pytest.raises(ConfigurationError):
+            sim.run(order=[0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            sim.run(order=list(range(9)) + [0])
+
+    def test_none_record_rejected(self, path9):
+        sim = SLocalSimulator(path9, locality=1, decide=lambda v: None)
+        with pytest.raises(ModelViolation):
+            sim.run()
+
+    def test_negative_locality_rejected(self, path9):
+        with pytest.raises(ConfigurationError):
+            SLocalSimulator(path9, locality=-1, decide=lambda v: True)
+
+    def test_report_is_accounted_slocal(self, path9):
+        result = SLocalSimulator(path9, locality=1,
+                                 decide=lambda v: True).run()
+        assert result.report.model == "SLOCAL"
+        assert result.report.accounted
+        assert result.report.rounds == 9
+
+
+class TestGreedyColoring:
+    def test_greedy_coloring_with_locality_one(self, dense40):
+        """(Δ+1)-coloring has a locality-1 SLOCAL algorithm [GKM17]."""
+
+        def decide(view):
+            used = {
+                view.records[u]
+                for u, d in view.nodes.items()
+                if d == 1 and u in view.records
+            }
+            color = 0
+            while color in used:
+                color += 1
+            return color
+
+        result = SLocalSimulator(dense40, locality=1, decide=decide).run()
+        colors = result.outputs
+        for u, v in dense40.edges():
+            assert colors[u] != colors[v]
+        assert max(colors.values()) <= dense40.max_degree()

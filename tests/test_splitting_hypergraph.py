@@ -1,0 +1,160 @@
+"""Splitting (Lemma 3.4) and conflict-free multi-coloring (Theorem 3.5)."""
+
+import random
+
+import pytest
+
+from repro.core.hypergraph import deterministic_small_edges, mark_and_conquer
+from repro.core.splitting import (
+    make_source,
+    random_instance,
+    shared_neighborhood_instance,
+    split,
+    split_with_source,
+)
+from repro.errors import ConfigurationError
+from repro.randomness import IndependentSource, KWiseSource
+from repro.structures import Hypergraph, conflict_free_ok
+
+
+class TestInstances:
+    def test_random_instance_degrees(self):
+        inst = random_instance(10, 30, 7, seed=1)
+        assert all(len(inst.adjacency[u]) == 7 for u in inst.u_side)
+
+    def test_random_instance_validates(self):
+        with pytest.raises(ConfigurationError):
+            random_instance(4, 5, 6)
+
+    def test_shared_neighborhood_instance(self):
+        inst = shared_neighborhood_instance(10, 40, 8, overlap=0.5, seed=2)
+        assert inst.min_degree >= 1
+        assert all(set(a) <= set(inst.v_side)
+                   for a in inst.adjacency.values())
+
+    def test_shared_neighborhood_validates(self):
+        with pytest.raises(ConfigurationError):
+            shared_neighborhood_instance(4, 8, 4, overlap=2.0)
+        with pytest.raises(ConfigurationError):
+            shared_neighborhood_instance(4, 8, 16)
+
+
+class TestSplitting:
+    @pytest.mark.parametrize(
+        "regime", ["independent", "kwise", "shared-kwise", "epsilon-biased"])
+    def test_zero_rounds_and_high_success(self, regime):
+        successes = 0
+        for t in range(15):
+            inst = random_instance(30, 80, 24, seed=t)
+            _col, ok, report, _src = split(inst, regime, seed=3 * t)
+            assert report.rounds == 0
+            successes += ok
+        assert successes >= 13, regime
+
+    def test_coloring_covers_v_side(self):
+        inst = random_instance(5, 20, 8, seed=4)
+        coloring, _ok, _rep, _src = split(inst, "independent", seed=1)
+        assert set(coloring) == set(inst.v_side)
+        assert set(coloring.values()) <= {0, 1}
+
+    def test_epsilon_biased_seed_is_logarithmic(self):
+        inst = random_instance(30, 256, 30, seed=5)
+        _c, _ok, _rep, source = split(inst, "epsilon-biased", seed=2)
+        assert source.seed_bits <= 2 * 32  # 2m = O(log(n/eps))
+
+    def test_unknown_regime(self):
+        inst = random_instance(4, 8, 3, seed=1)
+        with pytest.raises(ConfigurationError):
+            make_source("quantum", inst)
+
+    def test_split_with_custom_source(self):
+        inst = random_instance(10, 30, 12, seed=6)
+        source = IndependentSource(seed=7)
+        coloring, report = split_with_source(inst, source)
+        assert report.randomness_bits == len(inst.v_side)
+
+    def test_adversarial_overlap_instances(self):
+        successes = 0
+        for t in range(10):
+            inst = shared_neighborhood_instance(40, 120, 24, seed=t)
+            _c, ok, _r, _s = split(inst, "kwise", seed=5 * t)
+            successes += ok
+        assert successes >= 8
+
+
+def random_hypergraph(num_vertices, sizes, num_edges, seed):
+    rng = random.Random(seed)
+    vertices = list(range(num_vertices))
+    edges = [frozenset(rng.sample(vertices, rng.choice(sizes)))
+             for _ in range(num_edges)]
+    return Hypergraph(vertices, edges)
+
+
+class TestDeterministicSmallEdges:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_valid_multicoloring(self, seed):
+        hg = random_hypergraph(50, [2, 3, 4, 6], 30, seed)
+        colors = deterministic_small_edges(hg)
+        assert conflict_free_ok(hg, colors)
+
+    def test_deterministic(self):
+        hg = random_hypergraph(30, [2, 4], 20, 9)
+        c1 = deterministic_small_edges(hg)
+        c2 = deterministic_small_edges(hg)
+        assert c1 == c2
+
+    def test_color_budget_polylog(self):
+        hg = random_hypergraph(60, [4], 40, 5)
+        colors = deterministic_small_edges(hg)
+        palette = {c for cs in colors.values() for c in cs}
+        # O(s^2 log m) colors for s=4, m=40.
+        assert len(palette) <= 4 * 4 * 4 * 8
+
+    def test_size_bound_enforced(self):
+        hg = random_hypergraph(30, [10], 5, 2)
+        with pytest.raises(ConfigurationError):
+            deterministic_small_edges(hg, max_size=8)
+
+    def test_empty_hypergraph(self):
+        hg = Hypergraph(vertices=[0, 1], edges=[])
+        assert deterministic_small_edges(hg) == {0: set(), 1: set()}
+
+    def test_singleton_edges(self):
+        hg = Hypergraph(vertices=[0, 1], edges=[frozenset({0})])
+        colors = deterministic_small_edges(hg)
+        assert conflict_free_ok(hg, colors)
+
+
+class TestMarkAndConquer:
+    def test_small_classes_handled_deterministically(self):
+        hg = random_hypergraph(40, [2, 3], 25, 3)
+        source = KWiseSource(8, 40, 64, seed=1)
+        colors, stats = mark_and_conquer(hg, source)
+        assert stats["valid"]
+        assert all(c["mode"] == "deterministic"
+                   for c in stats["classes"].values())
+
+    def test_large_edges_are_marked_down(self):
+        rng = random.Random(4)
+        vertices = list(range(120))
+        small = [frozenset(rng.sample(vertices, 3)) for _ in range(10)]
+        large = [frozenset(rng.sample(vertices, 80)) for _ in range(8)]
+        hg = Hypergraph(vertices, small + large)
+        source = KWiseSource(16, 120, 64, seed=2)
+        colors, stats = mark_and_conquer(hg, source)
+        assert stats["valid"]
+        marked_classes = [c for c in stats["classes"].values()
+                          if c["mode"] == "marked"]
+        assert marked_classes
+        for cls in marked_classes:
+            assert all(s >= 1 for s in cls["marked_trace_sizes"])
+
+    def test_randomness_is_kwise_only(self):
+        rng = random.Random(5)
+        vertices = list(range(100))
+        large = [frozenset(rng.sample(vertices, 64)) for _ in range(5)]
+        hg = Hypergraph(vertices, large)
+        source = KWiseSource(16, 100, 64, seed=3)
+        _colors, stats = mark_and_conquer(hg, source)
+        assert source.bits_consumed > 0
+        assert stats["valid"]

@@ -1,0 +1,98 @@
+"""Guess-and-double uniformity and the [ABCP96] improvement."""
+
+import pytest
+
+from repro.checkers import ColoringChecker, MISChecker
+from repro.core.coloring import coloring_via_decomposition
+from repro.core.decomposition import (
+    deterministic_decomposition,
+    improve_decomposition,
+)
+from repro.core.mis import mis_via_decomposition
+from repro.core.uniform import run_uniform
+from repro.errors import ConfigurationError
+from repro.structures import Decomposition
+
+
+def honest_mis(graph, claimed_n):
+    """A non-uniform MIS that is simply always right (guess-agnostic)."""
+    dec, _ = deterministic_decomposition(graph)
+    return mis_via_decomposition(graph, dec)
+
+
+def guess_sensitive_mis(graph, claimed_n):
+    """Fails (empty output) whenever the guess undershoots the truth —
+    the canonical behaviour Definition 2.1 permits."""
+    if claimed_n < graph.n:
+        from repro.sim.metrics import RunReport
+        return {v: False for v in graph.nodes()}, RunReport(rounds=1,
+                                                            accounted=True)
+    return honest_mis(graph, claimed_n)
+
+
+class TestRunUniform:
+    def test_stops_at_first_certified_guess(self, gnp60):
+        run = run_uniform(gnp60, honest_mis, MISChecker())
+        assert run.final_guess == 2  # correct immediately, certified
+        assert run.guesses_tried == [2]
+        assert MISChecker().check(gnp60, run.outputs).ok
+
+    def test_doubles_until_guess_reaches_n(self, gnp60):
+        run = run_uniform(gnp60, guess_sensitive_mis, MISChecker())
+        assert run.final_guess >= gnp60.n
+        assert run.guesses_tried == [2 ** (i + 1) for i in
+                                     range(len(run.guesses_tried))]
+        assert MISChecker().check(gnp60, run.outputs).ok
+
+    def test_never_returns_uncertified_output(self, gnp60):
+        def always_wrong(graph, claimed_n):
+            from repro.sim.metrics import RunReport
+            return {v: False for v in graph.nodes()}, RunReport(rounds=1)
+
+        with pytest.raises(ConfigurationError):
+            run_uniform(gnp60, always_wrong, MISChecker())
+
+    def test_cost_accumulates_over_guesses(self, gnp60):
+        run = run_uniform(gnp60, guess_sensitive_mis, MISChecker())
+        # One algorithm round + one checker round per failed guess, plus
+        # the successful run: strictly more than a single invocation.
+        single = honest_mis(gnp60, gnp60.n)[1].rounds
+        assert run.report.rounds > single
+
+    def test_works_for_coloring_too(self, dense40):
+        def algo(graph, claimed_n):
+            dec, _ = deterministic_decomposition(graph)
+            return coloring_via_decomposition(graph, dec)
+
+        checker = ColoringChecker(dense40.max_degree() + 1)
+        run = run_uniform(dense40, algo, checker)
+        assert checker.check(dense40, run.outputs).ok
+
+    def test_validates_initial_guess(self, gnp60):
+        with pytest.raises(ConfigurationError):
+            run_uniform(gnp60, honest_mis, MISChecker(), initial_guess=0)
+
+
+class TestImproveDecomposition:
+    def test_refines_trivial_decomposition(self, gnp60):
+        coarse = Decomposition.single_cluster(gnp60)
+        refined, report = improve_decomposition(gnp60, coarse)
+        assert refined.is_valid(gnp60)
+        import math
+        logn = math.ceil(math.log2(gnp60.n))
+        assert refined.num_colors() <= logn + 1
+        assert refined.max_strong_diameter(gnp60) <= 2 * logn
+
+    def test_rounds_scale_with_coarse_parameters(self, gnp60):
+        tight = Decomposition.single_cluster(gnp60)
+        _r1, rep1 = improve_decomposition(gnp60, tight)
+        fine, _ = deterministic_decomposition(gnp60)
+        _r2, rep2 = improve_decomposition(gnp60, fine)
+        # The trivial single-cluster input has the larger diameter, so
+        # the accounted [ABCP96] cost is larger.
+        assert rep1.rounds >= rep2.rounds
+
+    def test_rejects_invalid_coarse_input(self, gnp60):
+        broken = Decomposition(cluster_of={0: 0}, color_of={0: 0})
+        with pytest.raises(ConfigurationError):
+            improve_decomposition(gnp60, broken)
