@@ -1,0 +1,96 @@
+"""Benchmark: FastEngine vs SyncEngine on the same workload.
+
+Runs FloodMin (deterministic, broadcast-heavy — the engine-bound
+workload) and Luby's MIS (randomness-bound; both engines pay the same
+SHA-256 cost, so the ratio is near 1) on gnp-sparse n=500 in CONGEST,
+checks the engines agree bit-for-bit, and records the timings in
+``BENCH_ENGINES.json`` at the repo root. The acceptance bar is a
+>= 1.5x speedup on the engine-bound workload.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engines.py -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.mis import LubyMIS
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+from repro.sim import CONGEST, FastEngine, SyncEngine
+from repro.sim.primitives import FloodMin
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_ENGINES.json"
+
+N = 500
+FAMILY = "gnp-sparse"
+GRAPH_SEED = 11
+REPS = 5
+
+
+def _time_engine(engine_cls, graph, factory, seed=None):
+    """Best-of-REPS wall time plus the (identical every rep) result."""
+    best = float("inf")
+    result = None
+    for _ in range(REPS):
+        source = IndependentSource(seed=seed) if seed is not None else None
+        start = time.perf_counter()
+        result = engine_cls(graph, factory, source=source,
+                            model=CONGEST).run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _compare(graph, factory, seed=None):
+    sync_s, sync_r = _time_engine(SyncEngine, graph, factory, seed=seed)
+    fast_s, fast_r = _time_engine(FastEngine, graph, factory, seed=seed)
+    assert fast_r.outputs == sync_r.outputs
+    assert (dataclasses.asdict(fast_r.report)
+            == dataclasses.asdict(sync_r.report))
+    return {
+        "sync_seconds": round(sync_s, 6),
+        "fast_seconds": round(fast_s, 6),
+        "speedup": round(sync_s / fast_s, 3),
+        "rounds": sync_r.report.rounds,
+        "messages": sync_r.report.messages,
+    }
+
+
+def test_fast_engine_speedup():
+    graph = assign(make(FAMILY, N, seed=GRAPH_SEED), "random",
+                   seed=GRAPH_SEED)
+    flood = _compare(graph, lambda _v: FloodMin(12))
+    luby = _compare(graph, lambda _v: LubyMIS(), seed=7)
+
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "family": FAMILY,
+        "n": N,
+        "model": "CONGEST",
+        "reps": REPS,
+        "python": platform.python_version(),
+        "flood_min": flood,
+        "luby_mis": luby,
+    }
+    existing = []
+    if BENCH_FILE.exists():
+        existing = json.loads(BENCH_FILE.read_text())
+    existing.append(entry)
+    BENCH_FILE.write_text(json.dumps(existing, indent=2) + "\n")
+
+    print(f"\nFloodMin  sync={flood['sync_seconds'] * 1000:.1f}ms "
+          f"fast={flood['fast_seconds'] * 1000:.1f}ms "
+          f"speedup={flood['speedup']}x")
+    print(f"LubyMIS   sync={luby['sync_seconds'] * 1000:.1f}ms "
+          f"fast={luby['fast_seconds'] * 1000:.1f}ms "
+          f"speedup={luby['speedup']}x")
+    assert flood["speedup"] >= 1.5, (
+        f"FastEngine only {flood['speedup']}x faster on the engine-bound "
+        f"workload (want >= 1.5x)")

@@ -1,13 +1,54 @@
-"""Regenerate every experiment table at the full (non-quick) profile."""
-import sys, time
-from repro.analysis import EXPERIMENTS
+"""Regenerate experiment tables, fanning seed sweeps across processes.
 
-out = []
-for name in sorted(EXPERIMENTS):
-    t = time.time()
-    table = EXPERIMENTS[name](quick=False, seed=1)
-    took = time.time() - t
-    out.append((name, table, took))
-    print(f"### done {name} in {took:.1f}s", flush=True)
-    print(table.render(), flush=True)
-    print(flush=True)
+Every experiment's per-seed trial loop goes through
+``repro.sim.batch.run_trials``, so ``--workers N`` parallelizes the
+sweeps without changing a single number in the tables (trial randomness
+is a pure function of the trial spec).
+
+Usage::
+
+    PYTHONPATH=src python scripts_run_experiments.py               # full, serial
+    PYTHONPATH=src python scripts_run_experiments.py --workers 8   # full, 8 procs
+    PYTHONPATH=src python scripts_run_experiments.py --quick e09   # one table, quick
+"""
+import argparse
+import sys
+import time
+
+from repro.analysis import EXPERIMENTS
+from repro.analysis.cli import positive_int
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="quick profile (benchmark scale)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=positive_int, default=None,
+                        help="process fan-out for the seed-sweeping "
+                             "experiments e01-e06/e08/e10 "
+                             "(default: $REPRO_WORKERS or 1)")
+    args = parser.parse_args(argv)
+
+    names = args.names or sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        start = time.time()
+        table = EXPERIMENTS[name](quick=args.quick, seed=args.seed,
+                                  workers=args.workers)
+        took = time.time() - start
+        print(f"### done {name} in {took:.1f}s", flush=True)
+        print(table.render(), flush=True)
+        print(flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,14 @@ from .ablations import ABLATIONS
 from .experiments import EXPERIMENTS
 
 
+def positive_int(text: str) -> int:
+    """argparse type for worker counts (shared with the script CLI)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -31,6 +39,10 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="full profile (EXPERIMENTS.md scale; slow)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=positive_int, default=None,
+                        help="process fan-out for the seed-sweeping "
+                             "experiments e01-e06/e08/e10 "
+                             "(default: $REPRO_WORKERS or 1)")
     parser.add_argument("--list", action="store_true",
                         help="list available names and exit")
     args = parser.parse_args(argv)
@@ -51,7 +63,10 @@ def main(argv: List[str] = None) -> int:
 
     for name in names:
         start = time.time()
-        table = registry[name](quick=not args.full, seed=args.seed)
+        kwargs = dict(quick=not args.full, seed=args.seed)
+        if name in EXPERIMENTS:  # ablations do not fan out
+            kwargs["workers"] = args.workers
+        table = registry[name](**kwargs)
         print(table.render())
         print(f"[{name}: {time.time() - start:.1f}s]")
         print()

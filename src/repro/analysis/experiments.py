@@ -6,6 +6,17 @@ The paper proves theorems rather than reporting measurements, so the
 quantities a theorem bounds and prints them against the bound. Every
 driver takes a ``quick`` flag — benchmarks run the quick profile; the
 EXPERIMENTS.md numbers come from the default profile.
+
+Per-seed trial loops are fanned through
+:func:`repro.sim.batch.run_trials`: each sweep's inner body is a
+module-level ``_eXX_trial`` function mapped over a
+:class:`~repro.sim.batch.TrialSpec` grid. Every driver accepts a
+``workers`` argument (``None`` -> ``$REPRO_WORKERS`` -> 1); the
+seed-sweeping drivers (e01–e06, e08, e10) fan across processes without
+changing their numbers — trial randomness is a pure function of the
+spec, so worker count never affects results — while e07/e09/e11 have
+no per-seed sweep and accept ``workers`` only for interface
+uniformity (they run serially regardless).
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from ..core.decomposition import (
 from ..errors import DerandomizationFailure
 from ..graphs import assign, make, random_regular
 from ..randomness import IndependentSource, KWiseSource, SparseRandomness
+from ..sim.batch import TrialResult, TrialSpec, run_trials
 from ..sim.graph import DistributedGraph
 from .stats import log2_or_floor, success_rate, wilson_interval
 from .tables import Table
@@ -54,7 +66,24 @@ def _logn(n: int) -> int:
 # ----------------------------------------------------------------------
 # E1 — Theorem 3.1: one private bit per h hops (weak-diameter pipeline)
 # ----------------------------------------------------------------------
-def e01_sparse_bits(quick: bool = False, seed: int = 0) -> Table:
+def _e01_trial(spec: TrialSpec) -> TrialResult:
+    base, h, t = spec.param("base"), spec.param("h"), spec.seed
+    g = assign(make("grid", spec.n, seed=base + t), "random", seed=base + t)
+    source = SparseRandomness.for_graph(g, h=h, seed=base + 17 * t)
+    assert source.verify_covering(g)
+    dec, report, _extra = sparse_bits_decomposition(
+        g, source, spacing=4 * h + 4, strict=False)
+    ok = dec is not None and dec.is_valid(g)
+    data: Dict[str, object] = {}
+    if ok:
+        data = {"colors": dec.num_colors(),
+                "diam": dec.max_weak_diameter(g),
+                "rounds": report.rounds}
+    return TrialResult(spec, ok, data)
+
+
+def e01_sparse_bits(quick: bool = False, seed: int = 0,
+                    workers: Optional[int] = None) -> Table:
     """Sweep the holder radius h; measure decomposition quality.
 
     Theorem 3.1 bound: O(log n) colors, h·poly(log n) diameter. The
@@ -65,19 +94,14 @@ def e01_sparse_bits(quick: bool = False, seed: int = 0) -> Table:
     trials = 2 if quick else 5
     rows: List[Dict[str, object]] = []
     for h in (1, 2, 4):
-        outcomes, colors, diams, rounds = [], [], [], []
-        for t in range(trials):
-            g = assign(make("grid", n, seed=seed + t), "random", seed=seed + t)
-            source = SparseRandomness.for_graph(g, h=h, seed=seed + 17 * t)
-            assert source.verify_covering(g)
-            dec, report, extra = sparse_bits_decomposition(
-                g, source, spacing=4 * h + 4, strict=False)
-            ok = dec is not None and dec.is_valid(g)
-            outcomes.append(ok)
-            if ok:
-                colors.append(dec.num_colors())
-                diams.append(dec.max_weak_diameter(g))
-                rounds.append(report.rounds)
+        results = run_trials(
+            _e01_trial,
+            [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
+            workers=workers)
+        outcomes = [r.ok for r in results]
+        colors = [r.data["colors"] for r in results if r.ok]
+        diams = [r.data["diam"] for r in results if r.ok]
+        rounds = [r.data["rounds"] for r in results if r.ok]
         rows.append({
             "h": h,
             "n": n,
@@ -98,7 +122,27 @@ def e01_sparse_bits(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E2 — Theorem 3.5: k-wise independence suffices
 # ----------------------------------------------------------------------
-def e02_kwise(quick: bool = False, seed: int = 0) -> Table:
+def _e02_ref_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    g = assign(make("cycle", spec.n), "random", seed=base + t)
+    dec, _r, _e = elkin_neiman(
+        g, IndependentSource(seed=base + 1000 + t),
+        phases=spec.param("phases"), cap=spec.param("cap"), finish="strict")
+    return TrialResult(spec, dec is not None)
+
+
+def _e02_kwise_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    g = assign(make("cycle", spec.n), "random", seed=base + t)
+    dec, _r, extra = kwise_decomposition(
+        g, k=spec.param("k"), seed=base + 2000 + 31 * t,
+        phases=spec.param("phases"), cap=spec.param("cap"), strict=True)
+    return TrialResult(spec, dec is not None,
+                       {"seed_bits": extra["seed_bits"]})
+
+
+def e02_kwise(quick: bool = False, seed: int = 0,
+              workers: Optional[int] = None) -> Table:
     """Success of the EN construction as the independence k sweeps up.
 
     k = 1 is full correlation (all nodes share one radius — ties
@@ -112,27 +156,25 @@ def e02_kwise(quick: bool = False, seed: int = 0) -> Table:
     cap = 2 * _logn(n)
     rows: List[Dict[str, object]] = []
     # Fully independent reference.
-    ref = []
-    for t in range(trials):
-        g = assign(make("cycle", n), "random", seed=seed + t)
-        dec, _r, _e = elkin_neiman(
-            g, IndependentSource(seed=seed + 1000 + t),
-            phases=phases, cap=cap, finish="strict")
-        ref.append(dec is not None)
+    ref_results = run_trials(
+        _e02_ref_trial,
+        [TrialSpec.of("cycle", n, t, base=seed, phases=phases, cap=cap)
+         for t in range(trials)],
+        workers=workers)
+    ref = [r.ok for r in ref_results]
     for k in ks:
-        outcomes = []
-        for t in range(trials):
-            g = assign(make("cycle", n), "random", seed=seed + t)
-            dec, _r, extra = kwise_decomposition(
-                g, k=k, seed=seed + 2000 + 31 * t,
-                phases=phases, cap=cap, strict=True)
-            outcomes.append(dec is not None)
+        results = run_trials(
+            _e02_kwise_trial,
+            [TrialSpec.of("cycle", n, t, base=seed, k=k,
+                          phases=phases, cap=cap) for t in range(trials)],
+            workers=workers)
+        outcomes = [r.ok for r in results]
         lo, hi = wilson_interval(sum(outcomes), trials)
         rows.append({
             "k": k,
             "success": success_rate(outcomes),
             "CI95": f"[{lo:.2f},{hi:.2f}]",
-            "seed bits (k*m)": extra["seed_bits"],
+            "seed bits (k*m)": results[-1].data["seed_bits"],
             "independent ref": success_rate(ref),
         })
     return Table(
@@ -146,7 +188,16 @@ def e02_kwise(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E3 — Lemma 3.4: splitting in zero rounds
 # ----------------------------------------------------------------------
-def e03_splitting(quick: bool = False, seed: int = 0) -> Table:
+def _e03_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    inst = random_instance(spec.param("num_u"), spec.n,
+                           spec.param("degree"), seed=base + t)
+    _col, ok, _rep, source = split(inst, spec.family, seed=base + 7 * t)
+    return TrialResult(spec, ok, {"seed_bits": source.seed_bits})
+
+
+def e03_splitting(quick: bool = False, seed: int = 0,
+                  workers: Optional[int] = None) -> Table:
     """Zero-round splitting under the four randomness regimes."""
     num_v = 128 if quick else 512
     num_u = 64 if quick else 256
@@ -154,13 +205,13 @@ def e03_splitting(quick: bool = False, seed: int = 0) -> Table:
     trials = 20 if quick else 100
     rows: List[Dict[str, object]] = []
     for regime in ("independent", "kwise", "shared-kwise", "epsilon-biased"):
-        outcomes = []
-        seed_bits = None
-        for t in range(trials):
-            inst = random_instance(num_u, num_v, degree, seed=seed + t)
-            _col, ok, _rep, source = split(inst, regime, seed=seed + 7 * t)
-            outcomes.append(ok)
-            seed_bits = source.seed_bits
+        results = run_trials(
+            _e03_trial,
+            [TrialSpec.of(regime, num_v, t, base=seed, num_u=num_u,
+                          degree=degree) for t in range(trials)],
+            workers=workers)
+        outcomes = [r.ok for r in results]
+        seed_bits = results[-1].data["seed_bits"]
         lo, hi = wilson_interval(sum(outcomes), trials)
         rows.append({
             "regime": regime,
@@ -180,25 +231,39 @@ def e03_splitting(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E4 — Theorem 3.6: shared randomness in CONGEST
 # ----------------------------------------------------------------------
-def e04_shared_congest(quick: bool = False, seed: int = 0) -> Table:
+def _e04_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    g = assign(make("gnp-sparse", spec.n, seed=base + t), "random",
+               seed=base + t)
+    dec, _report, extra = shared_randomness_decomposition(
+        g, seed=base + 11 * t, strict=False)
+    valid = dec is not None and dec.is_valid(g)
+    data: Dict[str, object] = {}
+    if dec is not None:
+        data = {"colors": dec.num_colors(),
+                "diam": dec.max_strong_diameter(g),
+                "congestion": dec.congestion(),
+                "bits": extra["shared_bits_consumed"]}
+    return TrialResult(spec, valid and not extra["unclustered"], data)
+
+
+def e04_shared_congest(quick: bool = False, seed: int = 0,
+                       workers: Optional[int] = None) -> Table:
     """Decomposition quality and seed budget of the Theorem 3.6 run."""
     sizes = (48, 96) if quick else (64, 128, 256)
     trials = 2 if quick else 5
     rows: List[Dict[str, object]] = []
     for n in sizes:
-        colors, diams, congs, bits, ok = [], [], [], [], []
-        for t in range(trials):
-            g = assign(make("gnp-sparse", n, seed=seed + t), "random",
-                       seed=seed + t)
-            dec, report, extra = shared_randomness_decomposition(
-                g, seed=seed + 11 * t, strict=False)
-            valid = dec is not None and dec.is_valid(g)
-            ok.append(valid and not extra["unclustered"])
-            if dec is not None:
-                colors.append(dec.num_colors())
-                diams.append(dec.max_strong_diameter(g))
-                congs.append(dec.congestion())
-                bits.append(extra["shared_bits_consumed"])
+        results = run_trials(
+            _e04_trial,
+            [TrialSpec.of("gnp-sparse", n, t, base=seed)
+             for t in range(trials)],
+            workers=workers)
+        ok = [r.ok for r in results]
+        colors = [r.data["colors"] for r in results if r.data]
+        diams = [r.data["diam"] for r in results if r.data]
+        congs = [r.data["congestion"] for r in results if r.data]
+        bits = [r.data["bits"] for r in results if r.data]
         rows.append({
             "n": n,
             "success": success_rate(ok),
@@ -221,25 +286,37 @@ def e04_shared_congest(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E5 — Theorem 3.7: removing the h from the diameter
 # ----------------------------------------------------------------------
-def e05_sparse_strong(quick: bool = False, seed: int = 0) -> Table:
+def _e05_trial(spec: TrialSpec) -> TrialResult:
+    base, h, t = spec.param("base"), spec.param("h"), spec.seed
+    g = assign(make("grid", spec.n, seed=base + t), "random", seed=base + t)
+    s1 = SparseRandomness.for_graph(g, h=h, seed=base + t)
+    d1, _r1, _e1 = sparse_bits_decomposition(
+        g, s1, spacing=4 * h + 4, strict=False)
+    s2 = SparseRandomness.for_graph(g, h=h, seed=base + 100 + t)
+    d2, _r2, _e2 = sparse_bits_strong_decomposition(
+        g, s2, spacing=4 * h + 4, strict=False)
+    data: Dict[str, object] = {}
+    if d1 is not None:
+        data["weak"] = d1.max_weak_diameter(g)
+    if d2 is not None:
+        data["strong"] = d2.max_strong_diameter(g)
+    return TrialResult(spec, d1 is not None and d2 is not None, data)
+
+
+def e05_sparse_strong(quick: bool = False, seed: int = 0,
+                      workers: Optional[int] = None) -> Table:
     """Theorem 3.1's diameter grows with h; Theorem 3.7's must not."""
     n = 144 if quick else 400
     trials = 2 if quick else 4
     rows: List[Dict[str, object]] = []
     for h in (1, 2, 4):
-        weak_diams, strong_diams = [], []
-        for t in range(trials):
-            g = assign(make("grid", n, seed=seed + t), "random", seed=seed + t)
-            s1 = SparseRandomness.for_graph(g, h=h, seed=seed + t)
-            d1, _r1, _e1 = sparse_bits_decomposition(
-                g, s1, spacing=4 * h + 4, strict=False)
-            if d1 is not None:
-                weak_diams.append(d1.max_weak_diameter(g))
-            s2 = SparseRandomness.for_graph(g, h=h, seed=seed + 100 + t)
-            d2, _r2, _e2 = sparse_bits_strong_decomposition(
-                g, s2, spacing=4 * h + 4, strict=False)
-            if d2 is not None:
-                strong_diams.append(d2.max_strong_diameter(g))
+        results = run_trials(
+            _e05_trial,
+            [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
+            workers=workers)
+        weak_diams = [r.data["weak"] for r in results if "weak" in r.data]
+        strong_diams = [r.data["strong"] for r in results
+                        if "strong" in r.data]
         rows.append({
             "h": h,
             "Thm3.1 weak diam": max(weak_diams) if weak_diams else "-",
@@ -257,7 +334,19 @@ def e05_sparse_strong(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E6 — Theorem 4.2: error boosting by shattering
 # ----------------------------------------------------------------------
-def e06_shattering(quick: bool = False, seed: int = 0) -> Table:
+def _e06_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    g = assign(make("grid", spec.n, seed=base + t), "random", seed=base + t)
+    source = IndependentSource(seed=base + 13 * t)
+    dec, _rep, extra = shattering_decomposition(
+        g, source, en_phases=spec.param("phases"), cap=spec.param("cap"))
+    return TrialResult(spec, dec is not None and dec.is_valid(g),
+                       {"leftover": extra["leftover"],
+                        "separated": extra["separated_set_size"]})
+
+
+def e06_shattering(quick: bool = False, seed: int = 0,
+                   workers: Optional[int] = None) -> Table:
     """Leftover-set statistics and the shattered finish.
 
     The EN stage is deliberately under-provisioned (few phases) so the
@@ -270,18 +359,15 @@ def e06_shattering(quick: bool = False, seed: int = 0) -> Table:
     phases = max(2, _logn(n) // 2)  # under-provisioned on purpose
     cap = max(4, _logn(n))
     rows: List[Dict[str, object]] = []
-    en_fail, shatter_ok, leftovers, seps = 0, 0, [], []
-    for t in range(trials):
-        g = assign(make("grid", n, seed=seed + t), "random", seed=seed + t)
-        source = IndependentSource(seed=seed + 13 * t)
-        dec, _rep, extra = shattering_decomposition(
-            g, source, en_phases=phases, cap=cap)
-        leftovers.append(extra["leftover"])
-        seps.append(extra["separated_set_size"])
-        if extra["leftover"] > 0:
-            en_fail += 1
-        if dec is not None and dec.is_valid(g):
-            shatter_ok += 1
+    results = run_trials(
+        _e06_trial,
+        [TrialSpec.of("grid", n, t, base=seed, phases=phases, cap=cap)
+         for t in range(trials)],
+        workers=workers)
+    leftovers = [r.data["leftover"] for r in results]
+    seps = [r.data["separated"] for r in results]
+    en_fail = sum(1 for r in results if r.data["leftover"] > 0)
+    shatter_ok = sum(1 for r in results if r.ok)
     max_k = max(seps)
     rows.append({
         "n": n,
@@ -305,7 +391,8 @@ def e06_shattering(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E7 — Lemma 4.1: exhaustive-seed derandomization
 # ----------------------------------------------------------------------
-def e07_derandomize(quick: bool = False, seed: int = 0) -> Table:
+def e07_derandomize(quick: bool = False, seed: int = 0,
+                    workers: Optional[int] = None) -> Table:
     """Seed enumeration over instance families of growing size."""
     degree = 8
     seed_bits = 10 if quick else 12
@@ -357,7 +444,18 @@ def e07_derandomize(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E8 — Theorems 4.3/4.6: lying about n
 # ----------------------------------------------------------------------
-def e08_lie_about_n(quick: bool = False, seed: int = 0) -> Table:
+def _e08_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    g = assign(make("gnp-sparse", spec.n, seed=base + t), "random",
+               seed=base + t)
+    dec, rep, _extra = elkin_neiman(
+        g, IndependentSource(seed=base + 29 * t),
+        phases=spec.param("phases"), cap=spec.param("cap"), finish="strict")
+    return TrialResult(spec, dec is not None, {"rounds": rep.rounds})
+
+
+def e08_lie_about_n(quick: bool = False, seed: int = 0,
+                    workers: Optional[int] = None) -> Table:
     """Success probability and round cost of EN parametrized for N >= n."""
     n = 64 if quick else 100
     trials = 20 if quick else 60
@@ -367,15 +465,13 @@ def e08_lie_about_n(quick: bool = False, seed: int = 0) -> Table:
         claimed = n * factor
         phases = max(2, math.ceil(0.75 * _logn(claimed)))
         cap = max(4, _logn(claimed))
-        outcomes, rounds = [], 0
-        for t in range(trials):
-            g = assign(make("gnp-sparse", n, seed=seed + t), "random",
-                       seed=seed + t)
-            dec, rep, _extra = elkin_neiman(
-                g, IndependentSource(seed=seed + 29 * t),
-                phases=phases, cap=cap, finish="strict")
-            outcomes.append(dec is not None)
-            rounds = rep.rounds
+        results = run_trials(
+            _e08_trial,
+            [TrialSpec.of("gnp-sparse", n, t, base=seed, phases=phases,
+                          cap=cap) for t in range(trials)],
+            workers=workers)
+        outcomes = [r.ok for r in results]
+        rounds = results[-1].data["rounds"]
         failures = trials - sum(outcomes)
         rows.append({
             "claimed N": claimed,
@@ -396,7 +492,8 @@ def e08_lie_about_n(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E9 — completeness consumers: MIS and coloring via decomposition
 # ----------------------------------------------------------------------
-def e09_mis_coloring(quick: bool = False, seed: int = 0) -> Table:
+def e09_mis_coloring(quick: bool = False, seed: int = 0,
+                     workers: Optional[int] = None) -> Table:
     """Randomized engine algorithms vs deterministic via-decomposition."""
     sizes = (40, 80) if quick else (50, 100, 200)
     rows: List[Dict[str, object]] = []
@@ -432,7 +529,18 @@ def e09_mis_coloring(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E10 — sinkless orientation: the separation landscape
 # ----------------------------------------------------------------------
-def e10_sinkless(quick: bool = False, seed: int = 0) -> Table:
+def _e10_trial(spec: TrialSpec) -> TrialResult:
+    base, t = spec.param("base"), spec.seed
+    g = assign(random_regular(spec.n, 3, seed=base + t), "random",
+               seed=base + t)
+    orientation, _rep, extra = randomized_orientation(
+        g, IndependentSource(seed=base + 37 * t))
+    ok = orientation is not None and is_sinkless(g, orientation)
+    return TrialResult(spec, ok, {"fixups": extra["fixup_rounds"]})
+
+
+def e10_sinkless(quick: bool = False, seed: int = 0,
+                 workers: Optional[int] = None) -> Table:
     """Randomized fix-up convergence on d-regular graphs."""
     from ..core import randomized_orientation_engine
 
@@ -440,15 +548,14 @@ def e10_sinkless(quick: bool = False, seed: int = 0) -> Table:
     trials = 5 if quick else 15
     rows: List[Dict[str, object]] = []
     for n in sizes:
-        fixups, valid, engine_valid = [], [], []
-        for t in range(trials):
-            g = assign(random_regular(n, 3, seed=seed + t), "random",
-                       seed=seed + t)
-            orientation, _rep, extra = randomized_orientation(
-                g, IndependentSource(seed=seed + 37 * t))
-            fixups.append(extra["fixup_rounds"])
-            valid.append(orientation is not None and
-                         is_sinkless(g, orientation))
+        results = run_trials(
+            _e10_trial,
+            [TrialSpec.of("regular-3", n, t, base=seed)
+             for t in range(trials)],
+            workers=workers)
+        fixups = [r.data["fixups"] for r in results]
+        valid = [r.ok for r in results]
+        engine_valid = []
         # One engine-measured run per size: the genuine message-passing
         # variant of the same process (CONGEST-enforced).
         g_engine = assign(random_regular(n, 3, seed=seed), "random",
@@ -478,7 +585,8 @@ def e10_sinkless(quick: bool = False, seed: int = 0) -> Table:
 # ----------------------------------------------------------------------
 # E11 — uniform vs non-uniform algorithms (Section 2, Definitions 2.1/2.2)
 # ----------------------------------------------------------------------
-def e11_uniform(quick: bool = False, seed: int = 0) -> Table:
+def e11_uniform(quick: bool = False, seed: int = 0,
+                workers: Optional[int] = None) -> Table:
     """Cost of uniformity: guess-and-double with local certification.
 
     A non-uniform algorithm that needs its input N >= n is made uniform
@@ -540,7 +648,12 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
 }
 
 
-def run_all(quick: bool = True, seed: int = 0) -> List[Table]:
-    """Run every experiment; returns the tables in order."""
-    return [EXPERIMENTS[name](quick=quick, seed=seed)
+def run_all(quick: bool = True, seed: int = 0,
+            workers: Optional[int] = None) -> List[Table]:
+    """Run every experiment; returns the tables in order.
+
+    ``workers`` fans each experiment's seed sweep across processes via
+    :func:`repro.sim.batch.run_trials` (None -> $REPRO_WORKERS -> 1).
+    """
+    return [EXPERIMENTS[name](quick=quick, seed=seed, workers=workers)
             for name in sorted(EXPERIMENTS)]

@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..randomness.source import RandomSource
-from ..sim.engine import CONGEST, SyncEngine
+from ..sim.batch.fast_engine import FastEngine
+from ..sim.engine import CONGEST
 from ..sim.graph import DistributedGraph
 from ..sim.metrics import AlgorithmResult, RunReport
 from ..sim.node import NodeContext, NodeProgram
@@ -77,7 +78,7 @@ class TrialColoring(NodeProgram):
 def trial_coloring(graph: DistributedGraph, source: RandomSource,
                    max_rounds: int = 100_000) -> AlgorithmResult:
     """Run randomized color trials on the engine, CONGEST model."""
-    engine = SyncEngine(graph, lambda _v: TrialColoring(), source=source,
+    engine = FastEngine(graph, lambda _v: TrialColoring(), source=source,
                         model=CONGEST, max_rounds=max_rounds)
     return engine.run()
 

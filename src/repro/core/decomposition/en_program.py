@@ -29,7 +29,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ...randomness.source import RandomSource
-from ...sim.engine import CONGEST, SyncEngine
+from ...sim.batch.fast_engine import FastEngine
+from ...sim.engine import CONGEST
 from ...sim.graph import DistributedGraph
 from ...sim.metrics import AlgorithmResult
 from ...sim.node import NodeContext, NodeProgram
@@ -120,7 +121,7 @@ def en_engine_decomposition(
     n = graph.n
     phases = phases if phases is not None else default_phases(n)
     cap = cap if cap is not None else default_cap(n)
-    engine = SyncEngine(
+    engine = FastEngine(
         graph, lambda _v: ENProgram(phases, cap), source=source,
         model=CONGEST,
         max_rounds=phases * (cap + 2) + 2)

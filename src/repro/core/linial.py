@@ -25,7 +25,8 @@ import math
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..sim.engine import CONGEST, SyncEngine
+from ..sim.batch.fast_engine import FastEngine
+from ..sim.engine import CONGEST
 from ..sim.graph import DistributedGraph
 from ..sim.metrics import AlgorithmResult
 from ..sim.node import NodeContext, NodeProgram
@@ -130,6 +131,6 @@ def reduce_to_three_colors(graph: DistributedGraph) -> AlgorithmResult:
     """Run Cole–Vishkin to a 3-coloring on a path/cycle graph."""
     if graph.max_degree() > 2:
         raise ConfigurationError("reduce_to_three_colors needs a path/cycle")
-    engine = SyncEngine(graph, lambda _v: ColorReduceCV(), model=CONGEST,
+    engine = FastEngine(graph, lambda _v: ColorReduceCV(), model=CONGEST,
                         max_rounds=200)
     return engine.run()

@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Set, Tuple
 
 from ..randomness.source import RandomSource
-from ..sim.engine import CONGEST, SyncEngine
+from ..sim.batch.fast_engine import FastEngine
+from ..sim.engine import CONGEST
 from ..sim.graph import DistributedGraph
 from ..sim.metrics import AlgorithmResult, RunReport
 from ..sim.node import NodeContext, NodeProgram
@@ -107,7 +108,7 @@ class LubyMIS(NodeProgram):
 def luby_mis(graph: DistributedGraph, source: RandomSource,
              max_rounds: int = 100_000) -> AlgorithmResult:
     """Run Luby's algorithm on the engine in the CONGEST model."""
-    engine = SyncEngine(graph, lambda _v: LubyMIS(), source=source,
+    engine = FastEngine(graph, lambda _v: LubyMIS(), source=source,
                         model=CONGEST, max_rounds=max_rounds)
     result = engine.run()
     # Isolated nodes never hear from anyone and join immediately — make

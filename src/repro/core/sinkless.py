@@ -266,9 +266,10 @@ def randomized_orientation_engine(graph: DistributedGraph,
     fixed-horizon Monte Carlo process, an (exponentially unlikely)
     non-converged run yields a sink.
     """
-    from ..sim.engine import CONGEST, SyncEngine
+    from ..sim.batch.fast_engine import FastEngine
+    from ..sim.engine import CONGEST
 
-    engine = SyncEngine(
+    engine = FastEngine(
         graph, lambda _v: SinklessFixupProgram(min_degree, horizon),
         source=source, model=CONGEST, max_rounds=horizon + 4)
     result = engine.run()

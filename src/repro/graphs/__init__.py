@@ -7,6 +7,7 @@ from .generators import (
     complete_tree,
     cycle,
     dumbbell,
+    expander,
     gnp,
     grid,
     make,
@@ -26,6 +27,7 @@ __all__ = [
     "complete_tree",
     "cycle",
     "dumbbell",
+    "expander",
     "gnp",
     "grid",
     "make",

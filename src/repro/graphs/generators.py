@@ -19,6 +19,7 @@ All generators return plain ``networkx`` graphs; wrap them in
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
@@ -148,6 +149,24 @@ def dumbbell(side: int, bar: int) -> nx.Graph:
     return g
 
 
+def expander(n: int, seed: int = 0) -> nx.Graph:
+    """A bounded-degree expander: the Margulis–Gabber–Galil construction.
+
+    Built on the s x s torus (s = ceil(sqrt(n)), so the graph has s^2 >= n
+    nodes), degree <= 8, constant spectral expansion — the topology where
+    neighborhoods grow fastest, stressing any locality-based argument.
+    The multigraph edges/self-loops of the construction are simplified.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    side = max(2, math.isqrt(n - 1) + 1)
+    multi = nx.margulis_gabber_galil_graph(side)
+    g = nx.Graph()
+    g.add_nodes_from(multi.nodes())
+    g.add_edges_from((u, v) for u, v in multi.edges() if u != v)
+    return nx.convert_node_labels_to_integers(g, ordering="sorted")
+
+
 def _bridge_components(g: nx.Graph, seed: int) -> nx.Graph:
     """Connect a possibly-disconnected graph with minimal extra edges."""
     components = [sorted(c) for c in nx.connected_components(g)]
@@ -168,8 +187,11 @@ FAMILIES = {
     "gnp-sparse": lambda n, seed=0: gnp(n, min(1.0, 2.0 / max(1, n - 1)), seed),
     "gnp-dense": lambda n, seed=0: gnp(n, min(1.0, 10.0 / max(1, n - 1)), seed),
     "regular-3": lambda n, seed=0: random_regular(n + (n * 3) % 2, 3, seed),
+    "regular-4": lambda n, seed=0: random_regular(max(5, n), 4, seed),
     "tree": lambda n, seed=0: random_tree(n, seed),
     "cliques": lambda n, seed=0: cluster_of_cliques(max(1, n // 8), 8),
+    "expander": lambda n, seed=0: expander(n, seed),
+    "caterpillar": lambda n, seed=0: caterpillar(max(1, n // 4), 3),
 }
 
 

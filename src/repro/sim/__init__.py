@@ -1,5 +1,15 @@
 """Simulators for the LOCAL, CONGEST and SLOCAL models (Section 2)."""
 
+from .batch import (
+    CSRGraph,
+    FastEngine,
+    TrialResult,
+    TrialSpec,
+    aggregate,
+    grid,
+    run_program_fast,
+    run_trials,
+)
 from .engine import CONGEST, LOCAL, SyncEngine, run_program
 from .graph import DistributedGraph
 from .messages import congest_limit, message_bits
@@ -11,6 +21,14 @@ from .slocal import SLocalSimulator, SLocalView
 __all__ = [
     "AlgorithmResult",
     "BFSTree",
+    "CSRGraph",
+    "FastEngine",
+    "TrialResult",
+    "TrialSpec",
+    "aggregate",
+    "grid",
+    "run_program_fast",
+    "run_trials",
     "FloodMin",
     "build_bfs_forest",
     "convergecast_sum",

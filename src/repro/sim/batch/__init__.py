@@ -1,0 +1,32 @@
+"""Batch simulation: CSR topology, the fast engine, and seed sweeps.
+
+The scaling layer of the simulator (ROADMAP north star): freeze the
+static network structure once (:class:`CSRGraph`), run node programs on
+it without per-round allocation churn (:class:`FastEngine`, a drop-in
+:class:`~repro.sim.engine.SyncEngine` replacement), and fan whole
+(family, size, seed) grids across processes (:func:`run_trials`).
+"""
+
+from .csr import CSRGraph
+from .fast_engine import FastEngine, run_program_fast
+from .tasks import flood_min_trial, luby_mis_trial
+from .runner import (
+    TrialResult,
+    TrialSpec,
+    aggregate,
+    grid,
+    resolve_workers,
+    run_trials,
+)
+
+__all__ = [
+    "CSRGraph",
+    "FastEngine",
+    "TrialResult",
+    "TrialSpec",
+    "aggregate",
+    "grid",
+    "resolve_workers",
+    "run_program_fast",
+    "run_trials",
+]

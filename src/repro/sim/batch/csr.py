@@ -1,0 +1,167 @@
+"""Compressed-sparse-row adjacency for the batch simulation engine.
+
+A :class:`~repro.sim.graph.DistributedGraph` answers topology queries
+through networkx and per-call Python lists; that is fine for checkers
+and orchestrated pipelines but wasteful on the engine hot path, where
+the same neighbor lists are walked every round. :class:`CSRGraph`
+freezes the static topology once into flat arrays — the classic
+offsets/indices layout — plus cached Python-level views (lists and
+frozensets) that the :class:`~repro.sim.batch.fast_engine.FastEngine`
+reads without any per-round allocation.
+
+The CSR arrays are numpy ``int64``; UIDs stay a Python tuple because the
+model only bounds them by Θ(log n) bits, not by machine-word width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ..graph import DistributedGraph
+
+
+class CSRGraph:
+    """Array-backed, immutable adjacency snapshot of a network.
+
+    Attributes
+    ----------
+    n, m:
+        Node and (undirected) edge counts.
+    offsets:
+        ``int64[n + 1]``; node ``v``'s neighbors live at
+        ``indices[offsets[v]:offsets[v + 1]]``.
+    indices:
+        ``int64[2 m]`` concatenated sorted neighbor lists.
+    degrees:
+        ``int64[n]`` (``offsets`` differences, materialized).
+    uids:
+        Tuple of the n unique identifiers, by node index.
+    """
+
+    __slots__ = ("n", "m", "offsets", "indices", "degrees", "uids",
+                 "_neighbor_lists", "_neighbor_sets", "_uid_to_index")
+
+    def __init__(self, offsets: np.ndarray, indices: np.ndarray,
+                 uids: Tuple[int, ...]):
+        offsets = np.asarray(offsets, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 2:
+            raise ConfigurationError("offsets must be a 1-d array of n+1 ints")
+        if offsets[0] != 0 or offsets[-1] != indices.size:
+            raise ConfigurationError("offsets must span exactly the indices")
+        if np.any(np.diff(offsets) < 0):
+            raise ConfigurationError("offsets must be non-decreasing")
+        self.n = int(offsets.size - 1)
+        if len(uids) != self.n or len(set(uids)) != self.n:
+            raise ConfigurationError("uids must be n distinct values")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+            raise ConfigurationError("neighbor index out of range")
+        if indices.size % 2 != 0:
+            raise ConfigurationError("indices must hold both arcs of each edge")
+        self.m = int(indices.size // 2)
+        self.offsets = offsets
+        self.indices = indices
+        self.degrees = np.diff(offsets)
+        self.uids = tuple(uids)
+        self._neighbor_lists: List[List[int]] = None  # built lazily
+        self._neighbor_sets: List[frozenset] = None
+        self._uid_to_index: Dict[int, int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DistributedGraph) -> "CSRGraph":
+        """Freeze a :class:`DistributedGraph`'s topology into CSR form."""
+        degrees = np.fromiter((graph.degree(v) for v in range(graph.n)),
+                              dtype=np.int64, count=graph.n)
+        offsets = np.zeros(graph.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        indices = np.empty(int(offsets[-1]), dtype=np.int64)
+        for v in range(graph.n):
+            indices[offsets[v]:offsets[v + 1]] = graph.neighbors(v)
+        return cls(offsets, indices,
+                   tuple(graph.uid(v) for v in range(graph.n)))
+
+    # ------------------------------------------------------------------
+    # Topology access (mirrors DistributedGraph's query surface)
+    # ------------------------------------------------------------------
+    def nodes(self) -> range:
+        """All node indices."""
+        return range(self.n)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor indices of ``v`` (an array view, not a copy)."""
+        return self.indices[self.offsets[v]:self.offsets[v + 1]]
+
+    def neighbor_list(self, v: int) -> List[int]:
+        """Sorted neighbors of ``v`` as a cached Python list of ints."""
+        return self.neighbor_lists[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return int(self.degrees[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph."""
+        return int(self.degrees.max()) if self.n else 0
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All edges as index pairs (u < v), in u-major order."""
+        for u in range(self.n):
+            for v in self.neighbor_list(u):
+                if u < v:
+                    yield (u, v)
+
+    def uid(self, v: int) -> int:
+        """Unique identifier of node ``v``."""
+        return self.uids[v]
+
+    def index_of_uid(self, uid: int) -> int:
+        """Inverse UID lookup."""
+        if self._uid_to_index is None:
+            self._uid_to_index = {u: i for i, u in enumerate(self.uids)}
+        return self._uid_to_index[uid]
+
+    def uid_bits(self) -> int:
+        """Bits needed to write any UID (the Θ(log n) of the model)."""
+        return max(self.uids).bit_length()
+
+    # ------------------------------------------------------------------
+    # Cached Python-level views (what the fast engine actually reads)
+    # ------------------------------------------------------------------
+    @property
+    def neighbor_lists(self) -> List[List[int]]:
+        """Per-node sorted neighbor lists of plain Python ints."""
+        if self._neighbor_lists is None:
+            flat = self.indices.tolist()
+            bounds = self.offsets.tolist()
+            self._neighbor_lists = [flat[bounds[v]:bounds[v + 1]]
+                                    for v in range(self.n)]
+        return self._neighbor_lists
+
+    @property
+    def neighbor_sets(self) -> List[frozenset]:
+        """Per-node neighbor frozensets (for O(1) membership checks)."""
+        if self._neighbor_sets is None:
+            self._neighbor_sets = [frozenset(a) for a in self.neighbor_lists]
+        return self._neighbor_sets
+
+    # ------------------------------------------------------------------
+    # Equality / debugging
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (self.uids == other.uids
+                and np.array_equal(self.offsets, other.offsets)
+                and np.array_equal(self.indices, other.indices))
+
+    def __hash__(self):  # arrays are mutable; keep instances unhashable
+        raise TypeError("CSRGraph is unhashable")
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.m}, uid_bits={self.uid_bits()})"

@@ -1,0 +1,147 @@
+"""Seed-sweep fan-out: run many simulation trials across processes.
+
+The experiments (``repro.analysis.experiments``) and benchmarks all share
+one shape: build a graph from a (family, size, seed) triple, run an
+algorithm, collect a handful of scalar metrics, aggregate over seeds.
+:func:`run_trials` is that shape as infrastructure — a picklable task
+function is mapped over a grid of :class:`TrialSpec`\\ s, optionally
+across a ``multiprocessing`` pool, and the results come back in grid
+order regardless of worker count (so ``workers=1`` and ``workers=8``
+are result-for-result identical; see ``tests/test_batch_runner.py``).
+
+Tasks must be module-level functions (the pool pickles them by
+reference) and must derive all randomness from ``spec.seed`` — never
+from global state — or cross-worker determinism is lost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+
+#: Environment knob consulted when an API's ``workers`` is None.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialSpec:
+    """One cell of a sweep grid: a topology plus a seed plus knobs.
+
+    ``family``/``n`` name the graph (by convention a
+    :data:`repro.graphs.generators.FAMILIES` key, but tasks are free to
+    interpret them — e.g. E3 uses ``family`` for its randomness regime).
+    ``params`` carries task-specific knobs (phases, caps, radii, ...).
+    """
+
+    family: str
+    n: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, n: int, seed: int, **params: Any) -> "TrialSpec":
+        """Build a spec with keyword params (stored sorted, hashable)."""
+        return cls(family, n, seed, tuple(sorted(params.items())))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up one knob."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """All knobs as a dict."""
+        return dict(self.params)
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """A task's verdict for one spec: success flag plus scalar metrics.
+
+    ``data`` must contain only comparable, picklable scalars (numbers,
+    strings, bools, small tuples) so results can cross process
+    boundaries and be compared for exact equality in determinism tests.
+    """
+
+    spec: TrialSpec
+    ok: bool
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+def grid(families: Iterable[str], sizes: Iterable[int],
+         seeds: Iterable[int], **params: Any) -> List[TrialSpec]:
+    """The full cross product as a flat, deterministic spec list."""
+    return [TrialSpec.of(family, n, seed, **params)
+            for family in families for n in sizes for seed in seeds]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """None -> $REPRO_WORKERS or 1; always at least 1."""
+    if workers is None:
+        workers = int(os.environ.get(WORKERS_ENV, "1"))
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def run_trials(task: Callable[[TrialSpec], TrialResult],
+               specs: Sequence[TrialSpec],
+               workers: Optional[int] = None,
+               chunksize: int = 1) -> List[TrialResult]:
+    """Map ``task`` over ``specs``, fanning across processes.
+
+    Results are returned in ``specs`` order. With ``workers=1`` (the
+    default) everything runs in-process — no pickling, easy debugging.
+    ``workers=None`` consults ``$REPRO_WORKERS``. The pool size is
+    capped at ``len(specs)`` so tiny sweeps don't pay fork overhead for
+    idle workers.
+    """
+    specs = list(specs)
+    workers = min(resolve_workers(workers), max(1, len(specs)))
+    if workers == 1 or len(specs) <= 1:
+        return [task(spec) for spec in specs]
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(task, specs, chunksize=max(1, chunksize))
+
+
+def aggregate(results: Iterable[TrialResult],
+              by: Tuple[str, ...] = ("family", "n")) -> List[Dict[str, Any]]:
+    """Group results and summarize: success rate plus per-metric min/mean/max.
+
+    ``by`` names :class:`TrialSpec` fields to group on. Non-numeric data
+    values are skipped (only counted metrics are numeric scalars);
+    booleans count as numbers, matching Python semantics.
+    """
+    groups: Dict[Tuple, List[TrialResult]] = {}
+    order: List[Tuple] = []
+    for result in results:
+        key = tuple(getattr(result.spec, field) for field in by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(result)
+
+    rows: List[Dict[str, Any]] = []
+    for key in order:
+        bucket = groups[key]
+        row: Dict[str, Any] = dict(zip(by, key))
+        row["trials"] = len(bucket)
+        row["success"] = sum(1 for r in bucket if r.ok) / len(bucket)
+        metrics: Dict[str, List[float]] = {}
+        for result in bucket:
+            for name, value in result.data.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    metrics.setdefault(name, []).append(value)
+        for name in sorted(metrics):
+            values = metrics[name]
+            row[f"{name}(min)"] = min(values)
+            row[f"{name}(mean)"] = sum(values) / len(values)
+            row[f"{name}(max)"] = max(values)
+        rows.append(row)
+    return rows

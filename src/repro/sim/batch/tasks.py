@@ -1,0 +1,68 @@
+"""Ready-made trial tasks for :func:`~repro.sim.batch.runner.run_trials`.
+
+These are module-level functions (picklable by reference, as the pool
+requires) that interpret a :class:`~repro.sim.batch.runner.TrialSpec`
+the conventional way: ``family``/``n``/``seed`` name a
+:data:`repro.graphs.generators.FAMILIES` graph with random UIDs, and
+all algorithm randomness derives from ``spec.seed`` — so sweeps are
+reproducible and independent of worker count. They double as templates
+for writing new tasks.
+"""
+
+from __future__ import annotations
+
+from ...graphs import assign, make
+from ...randomness.independent import IndependentSource
+from ..engine import CONGEST
+from ..primitives import FloodMin
+from .fast_engine import FastEngine
+from .runner import TrialResult, TrialSpec
+
+
+def _report_data(result) -> dict:
+    report = result.report
+    return {
+        "rounds": report.rounds,
+        "messages": report.messages,
+        "total_bits": report.total_bits,
+        "max_message_bits": report.max_message_bits,
+        "randomness_bits": report.randomness_bits,
+    }
+
+
+def luby_mis_trial(spec: TrialSpec) -> TrialResult:
+    """Luby's MIS in CONGEST; ``ok`` is MIS validity.
+
+    Knobs: ``model`` (default CONGEST), ``max_rounds``.
+    """
+    # Deferred: repro.core pulls in repro.checkers, which imports back
+    # into repro.sim — a module-level import here would close the cycle.
+    from ...core.mis import LubyMIS, is_valid_mis
+
+    g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
+               seed=spec.seed)
+    engine = FastEngine(
+        g, lambda _v: LubyMIS(),
+        source=IndependentSource(seed=spec.seed),
+        model=spec.param("model", CONGEST),
+        max_rounds=spec.param("max_rounds", 100_000))
+    result = engine.run()
+    return TrialResult(spec, is_valid_mis(g, result.outputs),
+                       _report_data(result))
+
+
+def flood_min_trial(spec: TrialSpec) -> TrialResult:
+    """Deterministic FloodMin; ``ok`` means every node found the global min
+    (only guaranteed once ``radius`` reaches the graph diameter).
+
+    Knobs: ``radius`` (default 8), ``model`` (default CONGEST).
+    """
+    g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
+               seed=spec.seed)
+    radius = spec.param("radius", 8)
+    engine = FastEngine(g, lambda _v: FloodMin(radius),
+                        model=spec.param("model", CONGEST))
+    result = engine.run()
+    global_min = min(g.uid(v) for v in g.nodes())
+    ok = all(out == global_min for out in result.outputs.values())
+    return TrialResult(spec, ok, _report_data(result))

@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
-from .engine import CONGEST, SyncEngine
+from .batch.fast_engine import FastEngine
+from .engine import CONGEST
 from .graph import DistributedGraph
 from .metrics import AlgorithmResult
 from .node import NodeContext, NodeProgram
@@ -99,7 +100,7 @@ def build_bfs_forest(graph: DistributedGraph, roots,
                      depth_bound: Optional[int] = None) -> AlgorithmResult:
     """Run :class:`BFSTree` on the engine (CONGEST)."""
     bound = depth_bound if depth_bound is not None else graph.n
-    engine = SyncEngine(
+    engine = FastEngine(
         graph, lambda _v: BFSTree(roots, bound), model=CONGEST,
         max_rounds=bound + 2)
     return engine.run()

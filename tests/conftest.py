@@ -63,8 +63,4 @@ def source() -> IndependentSource:
     return IndependentSource(seed=2024)
 
 
-def family_graphs(n: int = 40, seed: int = 1):
-    """All named families at size ~n (module-level helper, not a fixture)."""
-    for name in ("path", "cycle", "grid", "gnp-sparse", "gnp-dense",
-                 "tree", "cliques"):
-        yield name, assign(make(name, n, seed=seed), "random", seed=seed)
+from helpers import family_graphs  # noqa: E402,F401  (re-export; see helpers.py)

@@ -1,0 +1,25 @@
+"""Importable test helpers (not fixtures).
+
+``conftest.py`` cannot be imported by test modules when ``tests/`` is not
+a package (pytest loads it under a synthetic module name), so shared
+*plain functions* live here instead. pytest inserts each test file's
+directory on ``sys.path`` (rootdir import mode), which makes a bare
+``from helpers import family_graphs`` work from every test module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.graphs import assign, make
+from repro.sim.graph import DistributedGraph
+
+#: The named families every cross-topology test sweeps over.
+FAMILY_NAMES = ("path", "cycle", "grid", "gnp-sparse", "gnp-dense",
+                "tree", "cliques")
+
+
+def family_graphs(n: int = 40, seed: int = 1) -> Iterator[Tuple[str, DistributedGraph]]:
+    """All named families at size ~n (module-level helper, not a fixture)."""
+    for name in FAMILY_NAMES:
+        yield name, assign(make(name, n, seed=seed), "random", seed=seed)

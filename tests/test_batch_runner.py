@@ -1,0 +1,99 @@
+"""The seed-sweep runner: grid construction, fan-out, determinism.
+
+The load-bearing guarantee is the regression test that ``workers=1``
+and ``workers=4`` return result-for-result identical lists — process
+fan-out must never change what a sweep computes, only how fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.batch import (
+    TrialResult,
+    TrialSpec,
+    aggregate,
+    flood_min_trial,
+    grid,
+    luby_mis_trial,
+    resolve_workers,
+    run_trials,
+)
+
+
+class TestTrialSpec:
+    def test_of_sorts_params(self):
+        spec = TrialSpec.of("cycle", 12, 3, zeta=1, alpha=2)
+        assert spec.params == (("alpha", 2), ("zeta", 1))
+        assert spec.param("alpha") == 2
+        assert spec.param("missing", "dflt") == "dflt"
+        assert spec.kwargs == {"alpha": 2, "zeta": 1}
+
+    def test_specs_are_hashable_and_comparable(self):
+        a = TrialSpec.of("cycle", 12, 3, k=1)
+        b = TrialSpec.of("cycle", 12, 3, k=1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_grid_is_full_cross_product(self):
+        specs = grid(["path", "cycle"], [10, 20], range(3), radius=2)
+        assert len(specs) == 12
+        assert specs[0] == TrialSpec.of("path", 10, 0, radius=2)
+        assert specs[-1] == TrialSpec.of("cycle", 20, 2, radius=2)
+
+
+class TestRunTrials:
+    def test_serial_runs_in_order(self):
+        specs = grid(["cycle"], [12], range(4), radius=3)
+        results = run_trials(flood_min_trial, specs, workers=1)
+        assert [r.spec for r in results] == specs
+        assert all(isinstance(r, TrialResult) for r in results)
+
+    def test_workers_determinism(self):
+        """Seed determinism across process fan-out (the regression)."""
+        specs = grid(["cycle", "gnp-sparse", "expander"], [16, 24], range(3))
+        serial = run_trials(luby_mis_trial, specs, workers=1)
+        fanned = run_trials(luby_mis_trial, specs, workers=4)
+        assert serial == fanned
+
+    def test_workers_determinism_flood(self):
+        specs = grid(["caterpillar", "tree"], [20], range(4), radius=6)
+        serial = run_trials(flood_min_trial, specs, workers=1)
+        fanned = run_trials(flood_min_trial, specs, workers=4)
+        assert serial == fanned
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(flood_min_trial, grid(["cycle"], [12], [0]), workers=0)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2
+
+    def test_empty_grid(self):
+        assert run_trials(flood_min_trial, [], workers=4) == []
+
+
+class TestAggregate:
+    def test_groups_and_summarizes(self):
+        specs = grid(["cycle"], [12, 18], range(3), radius=12)
+        rows = aggregate(run_trials(flood_min_trial, specs, workers=1))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["family"] == "cycle"
+            assert row["trials"] == 3
+            # radius >= diameter, so FloodMin finds the global min.
+            assert row["success"] == 1.0
+            assert row["rounds(min)"] <= row["rounds(mean)"] <= row["rounds(max)"]
+
+    def test_custom_grouping(self):
+        results = [
+            TrialResult(TrialSpec.of("a", 8, s, k=k), True, {"x": s})
+            for k in (1, 2) for s in range(2)
+        ]
+        rows = aggregate(results, by=("family", "n", "seed"))
+        assert len(rows) == 2  # grouped by seed, k collapses
+        assert rows[0]["x(mean)"] == 0 and rows[1]["x(mean)"] == 1

@@ -1,0 +1,97 @@
+"""Property tests: CSRGraph is a faithful snapshot of DistributedGraph.
+
+For arbitrary graphs (random G(n, p) plus the named families), the CSR
+arrays must reproduce the source's degrees, sorted neighbor lists, UID
+assignment, and edge set exactly; construction must be deterministic
+(round-trip stable); and the validation in the constructor must reject
+malformed arrays.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from helpers import family_graphs
+from repro.errors import ConfigurationError
+from repro.graphs import assign, make
+from repro.sim.batch import CSRGraph
+from repro.sim.graph import DistributedGraph
+
+
+@st.composite
+def distributed_graphs(draw):
+    """Random connected-or-not graphs with random UID seeds."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    p = draw(st.floats(min_value=0.0, max_value=0.5))
+    graph_seed = draw(st.integers(min_value=0, max_value=10_000))
+    uid_seed = draw(st.integers(min_value=0, max_value=10_000))
+    g = nx.gnp_random_graph(n, p, seed=graph_seed)
+    return DistributedGraph(g, uid_seed=uid_seed)
+
+
+def assert_matches(csr: CSRGraph, graph: DistributedGraph):
+    assert csr.n == graph.n
+    assert csr.m == graph.nx.number_of_edges()
+    for v in graph.nodes():
+        assert csr.degree(v) == graph.degree(v)
+        assert csr.neighbor_list(v) == list(graph.neighbors(v))
+        assert list(csr.neighbors(v)) == list(graph.neighbors(v))
+        assert csr.neighbor_sets[v] == set(graph.neighbors(v))
+        assert csr.uid(v) == graph.uid(v)
+        assert csr.index_of_uid(graph.uid(v)) == v
+    assert csr.max_degree() == (graph.max_degree() if graph.n else 0)
+    assert csr.uid_bits() == graph.uid_bits()
+    assert sorted(csr.edges()) == sorted(graph.edges())
+
+
+@given(distributed_graphs())
+def test_csr_matches_source(graph):
+    assert_matches(CSRGraph.from_graph(graph), graph)
+
+
+@given(distributed_graphs())
+def test_round_trip_is_stable(graph):
+    first = CSRGraph.from_graph(graph)
+    second = CSRGraph.from_graph(graph)
+    assert first == second
+    assert np.array_equal(first.offsets, second.offsets)
+    assert np.array_equal(first.indices, second.indices)
+    assert first.uids == second.uids
+
+
+def test_every_family_matches():
+    for _name, graph in family_graphs(32, seed=7):
+        assert_matches(CSRGraph.from_graph(graph), graph)
+
+
+def test_degrees_are_offset_differences():
+    graph = assign(make("gnp-dense", 30, seed=3), "random", seed=3)
+    csr = CSRGraph.from_graph(graph)
+    assert np.array_equal(csr.degrees, np.diff(csr.offsets))
+    assert int(csr.offsets[-1]) == 2 * csr.m
+
+
+class TestValidation:
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph(np.array([1, 2]), np.array([0]), (1, 2))
+
+    def test_rejects_decreasing_offsets(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph(np.array([0, 2, 1, 4]), np.arange(4) % 3, (1, 2, 3))
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph(np.array([0, 1, 2]), np.array([5, 0]), (1, 2))
+
+    def test_rejects_duplicate_uids(self):
+        with pytest.raises(ConfigurationError):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, 0]), (7, 7))
+
+    def test_unhashable(self):
+        csr = CSRGraph(np.array([0, 1, 2]), np.array([1, 0]), (4, 9))
+        with pytest.raises(TypeError):
+            hash(csr)

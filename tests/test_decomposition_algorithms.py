@@ -21,7 +21,7 @@ from repro.errors import ConfigurationError
 from repro.graphs import assign, make
 from repro.randomness import IndependentSource, SharedRandomness, SparseRandomness
 
-from .conftest import family_graphs
+from helpers import family_graphs
 
 
 def _logn(n):

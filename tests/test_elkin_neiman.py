@@ -14,7 +14,7 @@ from repro.errors import ConfigurationError
 from repro.graphs import assign, make
 from repro.randomness import IndependentSource
 
-from .conftest import family_graphs
+from helpers import family_graphs
 
 
 class TestValidity:

@@ -1,5 +1,7 @@
 """Graph generators and identifier schemes."""
 
+import math
+
 import networkx as nx
 import pytest
 from hypothesis import given
@@ -14,6 +16,7 @@ from repro.graphs import (
     cluster_of_cliques,
     complete_tree,
     dumbbell,
+    expander,
     gnp,
     grid,
     make,
@@ -86,6 +89,28 @@ class TestGenerators:
         assert nx.is_connected(g)
         assert g.number_of_nodes() == 11
         assert nx.diameter(g) >= 4
+
+    def test_expander_shape(self):
+        g = expander(40, seed=1)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() >= 40
+        assert max(d for _, d in g.degree()) <= 8  # Margulis degree bound
+        assert not any(u == v for u, v in g.edges())  # self-loops dropped
+        # Expanders have logarithmic diameter, far below path-like families.
+        assert nx.diameter(g) <= 2 * math.ceil(math.log2(g.number_of_nodes()))
+
+    def test_expander_deterministic(self):
+        assert nx.utils.graphs_equal(expander(30), expander(30))
+
+    def test_new_named_families(self):
+        for name in ("expander", "regular-4", "caterpillar"):
+            g = make(name, 40, seed=3)
+            assert nx.is_connected(g), name
+        assert all(d == 4 for _, d in make("regular-4", 40, seed=3).degree())
+        cat = make("caterpillar", 40, seed=0)
+        # A caterpillar: removing leaves yields a path (degree <= 2).
+        spine = cat.subgraph(v for v, d in cat.degree() if d > 1)
+        assert max(d for _, d in spine.degree()) <= 2 + 1  # spine + one leg edge
 
     def test_named_families_all_connected(self):
         for name in FAMILIES:

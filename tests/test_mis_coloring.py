@@ -18,7 +18,7 @@ from repro.core.mis import (
 from repro.graphs import assign, make
 from repro.randomness import IndependentSource
 
-from .conftest import family_graphs
+from helpers import family_graphs
 
 
 class TestLubyMIS:

@@ -16,7 +16,7 @@ from repro.sim.primitives import (
     convergecast_sum,
 )
 
-from .conftest import family_graphs
+from helpers import family_graphs
 
 
 class TestFloodMin:

@@ -13,7 +13,7 @@ from repro.core.ruling_sets import (
 from repro.errors import ConfigurationError
 from repro.graphs import assign, make
 
-from .conftest import family_graphs
+from helpers import family_graphs
 
 
 class TestGreedyRulingSet:
