@@ -1,0 +1,125 @@
+"""Benchmark: block-mode randomness vs the pre-PR per-bit baseline.
+
+Measures raw bit throughput (scalar ``bit()`` loop and bulk
+``bits_block``) and Luby-MIS end-to-end on gnp-sparse graphs, then
+appends an entry to ``BENCH_RANDOM.json`` at the repo root. The first
+entry in that file is the pinned pre-PR baseline (iterated-SHA-256
+per-bit streams with a dict ledger), measured on the same machine right
+before the block-mode rewrite; the acceptance bars are
+
+* bulk bit throughput >= 5x the baseline's, and
+* Luby MIS end-to-end (n=2000) >= 2x faster than the baseline's.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_random.py -s
+
+Set ``BENCH_RANDOM_TINY=1`` (the CI smoke job does) to run a small
+sanity-size sweep without the machine-dependent speedup assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core.mis import luby_mis
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_RANDOM.json"
+
+FAMILY = "gnp-sparse"
+GRAPH_SEED = 11
+SOURCE_SEED = 7
+THROUGHPUT_BITS = 200_000
+THROUGHPUT_NODES = 200
+REPS = 5
+
+
+def _tiny() -> bool:
+    return bool(os.environ.get("BENCH_RANDOM_TINY"))
+
+
+def _throughput(read) -> float:
+    """Best-of-REPS bits/sec for a reader fn(source, node, per_node)."""
+    per_node = THROUGHPUT_BITS // THROUGHPUT_NODES
+    best = 0.0
+    for _ in range(REPS):
+        source = IndependentSource(seed=1)
+        start = time.perf_counter()
+        for v in range(THROUGHPUT_NODES):
+            read(source, v, per_node)
+        elapsed = time.perf_counter() - start
+        best = max(best, THROUGHPUT_BITS / elapsed)
+    return best
+
+
+def _luby_seconds(n: int, reps: int) -> dict:
+    graph = assign(make(FAMILY, n, seed=GRAPH_SEED), "random",
+                   seed=GRAPH_SEED)
+    best = float("inf")
+    result = None
+    bits = 0
+    for _ in range(reps):
+        source = IndependentSource(seed=SOURCE_SEED)
+        start = time.perf_counter()
+        result = luby_mis(graph, source)
+        best = min(best, time.perf_counter() - start)
+        bits = source.bits_consumed
+    return {"seconds": round(best, 6), "rounds": result.report.rounds,
+            "randomness_bits": bits}
+
+
+def test_block_randomness_speedup():
+    sizes = [120] if _tiny() else [500, 2000]
+
+    sequential = _throughput(
+        lambda s, v, per: [s.bit(v, i) for i in range(per)])
+    bulk = _throughput(lambda s, v, per: s.bits_block(v, per))
+    luby = {f"{FAMILY}-{n}": _luby_seconds(n, reps=4 if n >= 2000 else REPS)
+            for n in sizes}
+
+    entry = {
+        "label": "block-mode (counter-PRF blocks, interval ledger)",
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "tiny": _tiny(),
+        "bit_throughput": {
+            "sequential_bits_per_sec": round(sequential),
+            "bulk_bits_per_sec": round(bulk),
+            "total_bits": THROUGHPUT_BITS,
+        },
+        "luby_mis": luby,
+    }
+    existing = []
+    if BENCH_FILE.exists():
+        existing = json.loads(BENCH_FILE.read_text())
+    existing.append(entry)
+    BENCH_FILE.write_text(json.dumps(existing, indent=2) + "\n")
+
+    print(f"\nbit()      {sequential / 1e6:8.2f} Mbit/s")
+    print(f"bits_block {bulk / 1e6:8.2f} Mbit/s")
+    for key, row in luby.items():
+        print(f"LubyMIS {key}: {row['seconds'] * 1000:.1f}ms "
+              f"({row['rounds']} rounds, {row['randomness_bits']} bits)")
+
+    if _tiny():
+        return  # CI smoke: sanity only, no machine-dependent bars
+
+    baseline = next((e for e in existing
+                     if e.get("label", "").startswith("pre-PR")), None)
+    assert baseline is not None, "BENCH_RANDOM.json lost its baseline entry"
+    base_bulk = baseline["bit_throughput"]["bulk_bits_per_sec"]
+    ratio = bulk / base_bulk
+    print(f"bulk throughput speedup: {ratio:.1f}x (want >= 5x)")
+    assert ratio >= 5.0, f"bulk bit throughput only {ratio:.1f}x baseline"
+
+    base_luby = baseline["luby_mis"]["gnp-sparse-2000"]["seconds"]
+    speedup = base_luby / luby["gnp-sparse-2000"]["seconds"]
+    print(f"Luby n=2000 end-to-end speedup: {speedup:.2f}x (want >= 2x)")
+    assert speedup >= 2.0, f"Luby end-to-end only {speedup:.2f}x baseline"

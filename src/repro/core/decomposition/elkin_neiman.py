@@ -59,13 +59,18 @@ def en_phases_on_nx(
     draw_radius: Callable[[Hashable, int], int],
     phases: int,
     cap: int,
+    draw_radii: Optional[Callable[[List[Hashable], int],
+                                  Dict[Hashable, int]]] = None,
 ) -> Tuple[Dict[Hashable, Tuple[int, Hashable]], Set[Hashable]]:
     """Run the phase loop on an arbitrary networkx graph.
 
     ``draw_radius(node, phase)`` supplies the Geometric(1/2) value (use a
     :class:`RandomSource`; the indirection is what lets Lemma 3.3 feed
     gathered cluster pools and Theorem 3.5 feed k-wise bits into the same
-    construction).
+    construction). ``draw_radii(nodes, phase)``, when given, supplies a
+    whole phase's shifts in one bulk call (same values — each node's
+    draw is a pure function of its stream — with the sampler's
+    validation and dispatch paid once per phase instead of per node).
 
     Returns ``(assignment, remaining)`` where assignment maps a node to
     ``(phase_color, center)`` and ``remaining`` holds nodes unclustered
@@ -78,7 +83,10 @@ def en_phases_on_nx(
     for phase in range(phases):
         if not live:
             break
-        radii = {v: draw_radius(v, phase) for v in live}
+        if draw_radii is not None:
+            radii = draw_radii(list(live), phase)
+        else:
+            radii = {v: draw_radius(v, phase) for v in live}
         best = _top_two_shifted(graph, live, radii)
         newly: List[Hashable] = []
         for u in live:
@@ -182,7 +190,12 @@ def elkin_neiman(
         value, _used = source.geometric(v, cap, bit_offset + phase * cap)
         return value
 
-    assignment, remaining = en_phases_on_nx(graph.nx, draw, phases, cap)
+    def draw_all(nodes: List[Hashable], phase: int) -> Dict[Hashable, int]:
+        values, _used = source.geometrics(nodes, cap, bit_offset + phase * cap)
+        return dict(zip(nodes, values.tolist()))
+
+    assignment, remaining = en_phases_on_nx(graph.nx, draw, phases, cap,
+                                            draw_radii=draw_all)
 
     report = RunReport(
         rounds=phases * (cap + 2),

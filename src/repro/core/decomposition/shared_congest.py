@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ...errors import ConfigurationError
 from ...randomness.shared import SharedRandomness
+from ...randomness.source import pack_bits
 from ...sim.graph import DistributedGraph
 from ...sim.metrics import RunReport
 from ...structures import Decomposition
@@ -286,9 +287,7 @@ def shared_randomness_decomposition(
         prob = min(1.0, (2 ** epoch) * logn / n)
         threshold = math.ceil(prob * (1 << ELECTION_BITS))
         src = source_for(phase, epoch, "elect")
-        value = 0
-        for i in range(ELECTION_BITS):
-            value = (value << 1) | src.bit(v, i)
+        value = pack_bits(src.bits_block(v, ELECTION_BITS))
         return value < threshold
 
     def radius_draw(v: int, phase: int, epoch: int) -> int:

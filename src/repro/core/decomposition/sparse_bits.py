@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ...errors import ConfigurationError, RandomnessExhausted
 from ...randomness.pooled import PooledBits
 from ...randomness.shared import SharedRandomness
+from ...randomness.source import pack_bits
 from ...randomness.sparse import SparseRandomness
 from ...sim.graph import DistributedGraph
 from ...sim.metrics import RunReport
@@ -294,9 +295,7 @@ def sparse_bits_strong_decomposition(
         prob = min(1.0, (2 ** epoch) * logn / n)
         threshold = math.ceil(prob * (1 << ELECTION_BITS))
         src = source_for(cluster_of_node[v], phase, epoch, "elect")
-        value = 0
-        for i in range(ELECTION_BITS):
-            value = (value << 1) | src.bit(v, i)
+        value = pack_bits(src.bits_block(v, ELECTION_BITS))
         return value < threshold
 
     def radius_draw(v: int, phase: int, epoch: int) -> int:

@@ -38,7 +38,7 @@ import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
-from ..randomness.source import RandomSource
+from ..randomness.source import RandomSource, pack_bits
 from ..structures import Hypergraph, conflict_free_ok
 
 
@@ -164,9 +164,7 @@ def mark_and_conquer(
             touched = sorted({v for e in edges for v in e})
             marked: Set[int] = set()
             for v in touched:
-                value = 0
-                for i in range(mark_bits):
-                    value = (value << 1) | source.bit(v, offset + i)
+                value = pack_bits(source.bits_block(v, mark_bits, offset))
                 if value < threshold_value:
                     marked.add(v)
             traces: List[frozenset] = []

@@ -163,18 +163,18 @@ def randomized_orientation(
     orientation: Orientation = {}
     cursor: Dict[int, int] = {}
 
-    def take_bits(v: int, count: int) -> int:
-        offset = cursor.get(v, 0)
-        value = 0
-        for i in range(count):
-            value = (value << 1) | source.bit(v, offset + i)
-        cursor[v] = offset + count
-        return value
-
+    # Initial coin per edge, drawn from the lower endpoint's stream.
+    # Edges arrive u-major from graph.edges(), so each node's coins are
+    # a contiguous prefix of its stream — one bulk read per node.
+    edges_of: Dict[int, List[Tuple[int, int]]] = {}
     for u, v in graph.edges():
         a, b = _canonical(u, v)
-        bit = take_bits(a, 1)
-        orientation[(a, b)] = (a, b) if bit else (b, a)
+        edges_of.setdefault(a, []).append((a, b))
+    for a, owned in edges_of.items():
+        coins = source.bits_block(a, len(owned))
+        cursor[a] = len(owned)
+        for (x, y), bit in zip(owned, coins.tolist()):
+            orientation[(x, y)] = (x, y) if bit else (y, x)
 
     trajectory: List[int] = []
     rounds = 0
@@ -184,7 +184,10 @@ def randomized_orientation(
         rounds += 1
         for v in sorted(current):
             incident = [_canonical(v, u) for u in graph.neighbors(v)]
-            pick = incident[_uniform_below(take_bits, v, len(incident))]
+            value, used = source.uniform_int(v, len(incident),
+                                             cursor.get(v, 0))
+            cursor[v] = cursor.get(v, 0) + used
+            pick = incident[value]
             other = pick[1] if pick[0] == v else pick[0]
             orientation[pick] = (v, other)
         current = sinks(graph, orientation, min_degree)
@@ -223,14 +226,14 @@ class SinklessFixupProgram:
 
     def init(self, ctx):
         # Initial orientation: the lower-index endpoint draws the bit
-        # and announces it (one O(1)-bit message per edge).
+        # and announces it (one O(1)-bit message per edge). All coins
+        # come from one bulk read of this node's stream.
         out = {}
         ctx.state["outgoing"] = {}
-        for u in ctx.neighbors:
-            if ctx.v < u:
-                bit = ctx.rand_bit()
-                out[u] = ("init", bit)
-                ctx.state["outgoing"][u] = bool(bit)
+        upper = [u for u in ctx.neighbors if ctx.v < u]
+        for u, bit in zip(upper, ctx.rand_bits(len(upper))):
+            out[u] = ("init", bit)
+            ctx.state["outgoing"][u] = bool(bit)
         return out
 
     def step(self, ctx, round_index, inbox):
@@ -280,15 +283,3 @@ def randomized_orientation_engine(graph: DistributedGraph,
         assert u_out != v_out, f"inconsistent edge ({u},{v}) at termination"
         orientation[(u, v)] = (u, v) if u_out else (v, u)
     return orientation, result
-
-
-def _uniform_below(take_bits, v: int, bound: int) -> int:
-    """Uniform index below ``bound`` by rejection over the node stream."""
-    if bound == 1:
-        return 0
-    width = (bound - 1).bit_length()
-    for _ in range(64):
-        value = take_bits(v, width)
-        if value < bound:
-            return value
-    return 0

@@ -11,27 +11,38 @@ Standard model                    :class:`IndependentSource`
 (C) poly(log n) shared bits       :class:`SharedRandomness`
 Lemma 3.4 small-bias variant      :class:`EpsilonBiasedSource`
 ================================  ==========================================
+
+Bit generation is block-oriented (counter-mode PRF blocks, see
+:mod:`repro.randomness.block`) and metering is interval-based, so bulk
+reads (:meth:`RandomSource.bits_block`, :meth:`RandomSource.uniform_ints`,
+:meth:`RandomSource.geometrics`) cost O(1) ledger work per contiguous
+range while reporting exactly the per-bit counts.
 """
 
+from .block import BlockStream, IntervalSet, derive_key
 from .epsilon_biased import EpsilonBiasedSource, degree_for_bias
 from .finite_field import GF2m, inner_product_bits, min_degree_for, supported_degrees
 from .independent import IndependentSource
 from .kwise import KWiseSource
 from .shared import SharedRandomness
-from .source import RandomSource
+from .source import RandomSource, pack_bits
 from .sparse import SparseRandomness, covering_holders
 
 __all__ = [
+    "BlockStream",
     "EpsilonBiasedSource",
     "GF2m",
     "IndependentSource",
+    "IntervalSet",
     "KWiseSource",
     "RandomSource",
     "SharedRandomness",
     "SparseRandomness",
     "covering_holders",
     "degree_for_bias",
+    "derive_key",
     "inner_product_bits",
     "min_degree_for",
+    "pack_bits",
     "supported_degrees",
 ]

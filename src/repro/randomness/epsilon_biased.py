@@ -17,9 +17,23 @@ from __future__ import annotations
 import hashlib
 from typing import Optional
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .finite_field import GF2m, inner_product_bits, min_degree_for
 from .source import RandomSource
+
+
+def _parity64(values: np.ndarray) -> np.ndarray:
+    """Bitwise parity (popcount mod 2) of non-negative int64 values.
+
+    XOR-folding, so it works on every numpy version (``bitwise_count``
+    only arrived in numpy 2.0).
+    """
+    v = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        v ^= v >> shift
+    return (v & 1).astype(np.uint8)
 
 
 def degree_for_bias(num_bits: int, epsilon: float) -> int:
@@ -96,6 +110,24 @@ class EpsilonBiasedSource(RandomSource):
         # Sample bit i is <bits(x^(i+1)), bits(y)>; starting the powers at
         # x^1 avoids the degenerate constant bit at i = 0 when x = 1.
         return inner_product_bits(self._power(point + 1), self.y)
+
+    def _raw_block(self, node: object, start: int, count: int) -> np.ndarray:
+        node_i = int(node)
+        if not 0 <= node_i < self.num_nodes:
+            raise ConfigurationError(f"node {node!r} outside [0, {self.num_nodes})")
+        if start < 0 or start + count > self.bits_per_node:
+            bad = start if start < 0 else self.bits_per_node
+            raise ConfigurationError(
+                f"bit index {bad} outside [0, {self.bits_per_node})"
+            )
+        point = node_i * self.bits_per_node + start
+        powers = self.field.pow_range_vec(self.x, point + 1, count)
+        if powers is None:  # no log tables for this degree: scalar walk
+            return super()._raw_block(node, start, count)
+        return _parity64(powers & self.y)
+
+    def _stream_limit(self, node: object) -> Optional[int]:
+        return self.bits_per_node
 
     @classmethod
     def enumerate_seeds(cls, num_nodes: int, bits_per_node: int, epsilon: float):

@@ -13,6 +13,10 @@ the degrees the library needs.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from ..errors import ConfigurationError
 
 # Irreducible polynomials over GF(2), keyed by degree m. The value encodes
@@ -75,6 +79,8 @@ class GF2m:
         # build time, falling back to carry-less multiplication if not).
         self._log: list = []
         self._exp: list = []
+        self._log_np: Optional[np.ndarray] = None
+        self._exp_np: Optional[np.ndarray] = None
         if m <= 16:
             self._build_tables()
 
@@ -168,6 +174,58 @@ class GF2m:
         for c in reversed(coeffs):
             acc = self.add(self.mul(acc, x), c)
         return acc
+
+    # ------------------------------------------------------------------
+    # Vectorized arithmetic (table-backed; None when tables are absent)
+    # ------------------------------------------------------------------
+    def _tables_np(self) -> Optional[tuple]:
+        """The log/antilog tables as numpy arrays, or None (m > 16)."""
+        if not self._log:
+            return None
+        if self._log_np is None:
+            self._log_np = np.asarray(self._log, dtype=np.int64)
+            self._exp_np = np.asarray(self._exp, dtype=np.int64)
+        return self._log_np, self._exp_np
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+        """Elementwise field product of two int64 arrays (or None)."""
+        tables = self._tables_np()
+        if tables is None:
+            return None
+        log, exp = tables
+        # log[0] is a junk entry; mask zeros out afterwards.
+        out = exp[log[a] + log[b]]
+        return np.where((a == 0) | (b == 0), 0, out)
+
+    def eval_poly_vec(self, coeffs: list, xs: np.ndarray) -> Optional[np.ndarray]:
+        """Horner evaluation of one polynomial at many points (or None)."""
+        tables = self._tables_np()
+        if tables is None:
+            return None
+        acc = np.zeros(xs.size, dtype=np.int64)
+        for c in reversed(coeffs):
+            acc = self.mul_vec(acc, xs) ^ c
+        return acc
+
+    def pow_range_vec(self, a: int, start: int, count: int) -> Optional[np.ndarray]:
+        """``a**start, ..., a**(start+count-1)`` as int64 (or None).
+
+        Exponentiation through the discrete log: ``a^e`` is
+        ``exp[(log a * e) mod (2^m - 1)]`` — one vectorized modmul per
+        block instead of a chain of field multiplications.
+        """
+        tables = self._tables_np()
+        if tables is None:
+            return None
+        if a == 0:
+            out = np.zeros(count, dtype=np.int64)
+            if start == 0 and count:
+                out[0] = 1  # 0^0 == 1 by the repeated-product convention
+            return out
+        log, exp = tables
+        la = int(log[a])
+        exps = (la * (start + np.arange(count, dtype=np.int64))) % (self.order - 1)
+        return exp[exps]
 
 
 def inner_product_bits(a: int, b: int) -> int:

@@ -1,42 +1,38 @@
 """Fully independent private randomness — the standard model baseline.
 
 Under the textbook definition, every node holds an unbounded stream of
-independent fair bits. We realize this with one deterministic PRNG stream
-per node, derived from a master seed, so runs are reproducible and the
-source remains a pure function of ``(seed, node, index)``.
+independent fair bits. We realize this with one deterministic counter-mode
+PRF stream per node (BLAKE2b keyed by a per-node key derived from the
+master seed), so runs are reproducible and the source remains a pure
+function of ``(seed, node, index)``. Counter mode gives O(1) random
+access to any bit index: block ``i`` of a stream is
+``BLAKE2b(key, counter=i)``, no chaining through earlier blocks.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+import numpy as np
+
+from .block import BlockStream, derive_key
 from .source import RandomSource
 
 
-def _derive_stream_seed(master_seed: int, node: object) -> int:
-    """Derive a per-node stream seed from the master seed, stably.
+def _derive_stream_key(master_seed: int, node: object) -> bytes:
+    """Derive a per-node stream key from the master seed, stably.
 
-    Uses SHA-256 over the textual key so the mapping does not depend on
-    Python's per-process hash randomization.
+    Uses a keyed hash over the textual key so the mapping does not depend
+    on Python's per-process hash randomization.
     """
-    key = f"repro-independent:{master_seed}:{node!r}".encode()
-    return int.from_bytes(hashlib.sha256(key).digest(), "big")
+    return derive_key("repro-independent", master_seed, repr(node))
 
 
-class _BitStream:
-    """Lazy deterministic bit stream backed by iterated SHA-256 blocks."""
-
-    def __init__(self, stream_seed: int):
-        self._state = stream_seed.to_bytes(32, "big")
-        self._bits: List[int] = []
-
-    def bit(self, index: int) -> int:
-        while len(self._bits) <= index:
-            self._state = hashlib.sha256(self._state).digest()
-            block = int.from_bytes(self._state, "big")
-            self._bits.extend((block >> i) & 1 for i in range(256))
-        return self._bits[index]
+def _derive_fork_seed(master_seed: int, label: str) -> int:
+    """Derive a child master seed for :meth:`IndependentSource.fork`."""
+    key = f"repro-independent-fork:{master_seed}:{label}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=32).digest(), "big")
 
 
 class IndependentSource(RandomSource):
@@ -60,20 +56,26 @@ class IndependentSource(RandomSource):
     def __init__(self, seed: int = 0, bit_budget: Optional[int] = None):
         super().__init__(bit_budget=bit_budget)
         self.seed = seed
-        self._streams: Dict[object, _BitStream] = {}
+        self._streams: Dict[object, BlockStream] = {}
 
-    def _raw_bit(self, node: object, index: int) -> int:
+    def _stream(self, node: object) -> BlockStream:
         stream = self._streams.get(node)
         if stream is None:
-            stream = _BitStream(_derive_stream_seed(self.seed, node))
+            stream = BlockStream(_derive_stream_key(self.seed, node))
             self._streams[node] = stream
-        return stream.bit(index)
+        return stream
+
+    def _raw_bit(self, node: object, index: int) -> int:
+        return self._stream(node).bit(index)
+
+    def _raw_block(self, node: object, start: int, count: int) -> np.ndarray:
+        return self._stream(node).read(start, count)
 
     def fork(self, label: str) -> "IndependentSource":
         """Derive an independent child source (for multi-phase algorithms).
 
         The child's bits are independent of the parent's for all practical
-        purposes (distinct SHA-256 key spaces), while staying reproducible.
+        purposes (distinct PRF key spaces), while staying reproducible.
         """
-        child_seed = _derive_stream_seed(self.seed, f"fork:{label}")
-        return IndependentSource(seed=child_seed, bit_budget=self._bit_budget)
+        return IndependentSource(seed=_derive_fork_seed(self.seed, label),
+                                 bit_budget=self._bit_budget)

@@ -19,6 +19,8 @@ from __future__ import annotations
 import hashlib
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .finite_field import GF2m, min_degree_for
 from .source import RandomSource
@@ -101,6 +103,18 @@ class KWiseSource(RandomSource):
         point = self._point(node, index)
         value = self.field.eval_poly(self._coeffs, point)
         return value & 1
+
+    def _raw_block(self, node: object, start: int, count: int) -> np.ndarray:
+        first = self._point(node, start)
+        self._point(node, start + count - 1)  # validate the far end too
+        points = first + np.arange(count, dtype=np.int64)
+        values = self.field.eval_poly_vec(self._coeffs, points)
+        if values is None:  # no log tables for this degree: scalar walk
+            return super()._raw_block(node, start, count)
+        return (values & 1).astype(np.uint8)
+
+    def _stream_limit(self, node: object) -> Optional[int]:
+        return self.bits_per_node
 
     @classmethod
     def enumerate_seeds(cls, k: int, num_nodes: int, bits_per_node: int):

@@ -10,7 +10,9 @@ mode the paper's "100 log² n bits suffice w.h.p." arguments bound.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from ..errors import ConfigurationError, RandomnessExhausted
 from .source import RandomSource
@@ -23,23 +25,42 @@ class PooledBits(RandomSource):
         super().__init__(bit_budget=None)
         if not pools:
             raise ConfigurationError("at least one pool is required")
-        self._pools: Dict[object, List[int]] = {}
+        self._pools: Dict[object, np.ndarray] = {}
         for key, bits in pools.items():
             bits = list(bits)
             if any(b not in (0, 1) for b in bits):
                 raise ConfigurationError(f"pool {key!r} contains non-bits")
-            self._pools[key] = bits
+            pool = np.asarray(bits, dtype=np.uint8)
+            pool.flags.writeable = False  # bulk reads hand out views
+            self._pools[key] = pool
         self.seed_bits = sum(len(b) for b in self._pools.values())
 
-    def _raw_bit(self, node: object, index: int) -> int:
+    def _pool(self, node: object) -> np.ndarray:
         pool = self._pools.get(node)
         if pool is None:
             raise ConfigurationError(f"no pool for key {node!r}")
+        return pool
+
+    def _raw_bit(self, node: object, index: int) -> int:
+        pool = self._pool(node)
         if index >= len(pool):
             raise RandomnessExhausted(
                 f"pool {node!r} has {len(pool)} bits; index {index} requested"
             )
-        return pool[index]
+        return int(pool[index])
+
+    def _raw_block(self, node: object, start: int, count: int) -> np.ndarray:
+        pool = self._pool(node)
+        if start < 0 or start + count > len(pool):
+            raise RandomnessExhausted(
+                f"pool {node!r} has {len(pool)} bits; "
+                f"index {max(start, len(pool))} requested"
+            )
+        return pool[start:start + count]
+
+    def _stream_limit(self, node: object) -> Optional[int]:
+        pool = self._pools.get(node)
+        return len(pool) if pool is not None else 0
 
     def pool_size(self, key: object) -> int:
         """Total bits in one pool."""

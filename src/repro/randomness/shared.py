@@ -13,20 +13,23 @@ there is no private randomness). The paper's headline uses:
 
 from __future__ import annotations
 
-import hashlib
 from typing import List, Optional
 
+import numpy as np
+
 from ..errors import ConfigurationError, RandomnessExhausted
+from .block import BlockStream, derive_key
 from .kwise import KWiseSource
-from .source import RandomSource
+from .source import RandomSource, pack_bits
 
 
 class SharedRandomness(RandomSource):
     """A finite public random string, readable by every node.
 
-    The string is materialized up front (``seed_bits`` bits) so reads can
-    never exceed the declared budget. ``bit(node, index)`` ignores the
-    node argument — the string is global — but keeps the
+    The string is materialized up front (``seed_bits`` bits, one
+    counter-mode PRF pass into a numpy bit array) so reads can never
+    exceed the declared budget. ``bit(node, index)`` ignores the node
+    argument — the string is global — but keeps the
     :class:`RandomSource` interface so algorithms are source-agnostic.
     """
 
@@ -44,26 +47,37 @@ class SharedRandomness(RandomSource):
                 )
             if any(b not in (0, 1) for b in explicit_bits):
                 raise ConfigurationError("explicit_bits must contain only 0/1")
-            self._bits = list(explicit_bits)
+            # Copy: freezing below must never alter a caller-owned array.
+            self._bits = np.array(explicit_bits, dtype=np.uint8)
         else:
             self._bits = self._materialize(seed, num_bits)
+        self._bits.flags.writeable = False  # bulk reads hand out views
 
     @staticmethod
-    def _materialize(seed: int, num_bits: int) -> List[int]:
-        bits: List[int] = []
-        state = hashlib.sha256(f"repro-shared:{seed}".encode()).digest()
-        while len(bits) < num_bits:
-            state = hashlib.sha256(state).digest()
-            block = int.from_bytes(state, "big")
-            bits.extend((block >> i) & 1 for i in range(256))
-        return bits[:num_bits]
+    def _materialize(seed: int, num_bits: int) -> np.ndarray:
+        stream = BlockStream(derive_key("repro-shared", seed))
+        return stream.read(0, num_bits).copy()
+
+    def _check_range(self, start: int, end: int) -> None:
+        if start < 0 or end > self.seed_bits:
+            bad = start if start < 0 else self.seed_bits
+            raise RandomnessExhausted(
+                f"shared string has {self.seed_bits} bits; index {bad} requested"
+            )
 
     def _raw_bit(self, node: object, index: int) -> int:
         if not 0 <= index < self.seed_bits:
             raise RandomnessExhausted(
                 f"shared string has {self.seed_bits} bits; index {index} requested"
             )
-        return self._bits[index]
+        return int(self._bits[index])
+
+    def _raw_block(self, node: object, start: int, count: int) -> np.ndarray:
+        self._check_range(start, start + count)
+        return self._bits[start:start + count]
+
+    def _stream_limit(self, node: object) -> Optional[int]:
+        return self.seed_bits
 
     def global_bit(self, index: int) -> int:
         """Read bit ``index`` of the public string (node-independent)."""
@@ -71,14 +85,11 @@ class SharedRandomness(RandomSource):
 
     def global_bits(self, count: int, offset: int = 0) -> List[int]:
         """Read ``count`` consecutive public bits starting at ``offset``."""
-        return [self.global_bit(offset + i) for i in range(count)]
+        return self.bits("__shared__", count, offset)
 
     def as_int(self, count: int, offset: int = 0) -> int:
         """Pack ``count`` public bits into an integer (big-endian)."""
-        value = 0
-        for b in self.global_bits(count, offset):
-            value = (value << 1) | b
-        return value
+        return pack_bits(self.bits_block("__shared__", count, offset))
 
     def expand_kwise(self, k: int, num_nodes: int, bits_per_node: int,
                      offset: int = 0) -> KWiseSource:
@@ -93,13 +104,8 @@ class SharedRandomness(RandomSource):
         probe = KWiseSource(k, num_nodes, bits_per_node, coefficients=[0] * k)
         m = probe.field.m
         needed = k * m
-        coeff_bits = self.global_bits(needed, offset)
-        coeffs = []
-        for i in range(k):
-            value = 0
-            for b in coeff_bits[i * m:(i + 1) * m]:
-                value = (value << 1) | b
-            coeffs.append(value)
+        coeff_bits = self.bits_block("__shared__", needed, offset)
+        coeffs = [pack_bits(coeff_bits[i * m:(i + 1) * m]) for i in range(k)]
         return KWiseSource(k, num_nodes, bits_per_node, coefficients=coeffs)
 
     @classmethod

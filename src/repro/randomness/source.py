@@ -10,15 +10,37 @@ random string and then runs deterministically — and it is what makes seed
 enumeration (Lemma 4.1) and lie-about-n (Theorem 4.3) implementable.
 
 The ledger records how many *distinct* bits each node touched, so
-experiments can report exact randomness budgets.
+experiments can report exact randomness budgets. Accounting is
+interval-based (per-node sorted ranges of consumed indices, see
+:class:`~repro.randomness.block.IntervalSet`), so a contiguous read of
+any length costs O(1) amortized ledger work instead of one dict entry
+per bit; the reported counts are identical to per-bit bookkeeping.
+
+Subclasses implement :meth:`_raw_bit` (one bit) and, for speed, override
+:meth:`_raw_block` (a contiguous run of bits as a numpy array). The
+public bulk readers (:meth:`bits_block`, :meth:`uniform_ints`,
+:meth:`geometrics`) let hot algorithms draw a whole round's randomness
+in one call while consuming *exactly* the bits the per-call samplers
+would.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError, RandomnessExhausted
+from .block import IntervalSet
+
+
+def pack_bits(bits) -> int:
+    """Big-endian fold of a 0/1 sequence into an integer."""
+    value = 0
+    for b in bits:
+        value = (value << 1) | int(b)
+    return value
 
 
 class RandomSource(abc.ABC):
@@ -35,23 +57,94 @@ class RandomSource(abc.ABC):
 
     def __init__(self, bit_budget: Optional[int] = None):
         self._bit_budget = bit_budget
-        self._served: Dict[Tuple[object, int], int] = {}
-        self._per_node_count: Dict[object, int] = {}
+        self._ledgers: Dict[object, IntervalSet] = {}
+        self._total_consumed = 0
 
     # ------------------------------------------------------------------
-    # Core bit access
+    # Raw generation (subclass contract)
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _raw_bit(self, node: object, index: int) -> int:
         """Return bit ``index`` of ``node``'s random string (0 or 1)."""
 
+    def _raw_block(self, node: object, start: int, count: int) -> np.ndarray:
+        """``count`` consecutive raw bits from ``start`` as a uint8 array.
+
+        Unmetered. The default loops :meth:`_raw_bit`; sources with a
+        vectorizable derivation override this — it is the single hook the
+        whole fast path rests on.
+        """
+        out = np.empty(count, dtype=np.uint8)
+        for i in range(count):
+            value = self._raw_bit(node, start + i)
+            if value not in (0, 1):
+                raise ConfigurationError(
+                    f"_raw_bit returned non-bit value {value!r}")
+            out[i] = value
+        return out
+
+    def _stream_limit(self, node: object) -> Optional[int]:
+        """Exclusive upper bound on valid bit indices for ``node``.
+
+        ``None`` means unbounded. Bounded sources report their per-node
+        string length so the bulk samplers never *peek* past the end of
+        a stream whose prefix would have satisfied the request.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Metering
+    # ------------------------------------------------------------------
+    def _consume(self, node: object, start: int, end: int) -> None:
+        """Meter ``[start, end)`` of ``node``'s stream.
+
+        Already-served sub-ranges are free re-reads. Enforces the bit
+        budget with per-bit-exact semantics: the served prefix is
+        recorded, and the exception names the first index that did not
+        fit — matching what bit-at-a-time accounting would have done.
+        """
+        if start >= end:
+            return
+        ledger = self._ledgers.get(node)
+        if ledger is None:
+            gaps = [(start, end)]
+        else:
+            gaps = ledger.missing(start, end)
+        if not gaps:
+            return
+
+        def record(s: int, e: int) -> None:
+            nonlocal ledger
+            if ledger is None:
+                ledger = self._ledgers[node] = IntervalSet()
+            self._total_consumed += ledger.add(s, e)
+
+        budget = self._bit_budget
+        if budget is not None:
+            new = sum(e - s for s, e in gaps)
+            if self._total_consumed + new > budget:
+                room = budget - self._total_consumed
+                for s, e in gaps:
+                    take = min(room, e - s)
+                    if take:
+                        record(s, s + take)
+                        room -= take
+                    if take < e - s:
+                        raise RandomnessExhausted(
+                            f"bit budget of {budget} bits exhausted "
+                            f"(node {node!r} requested index {s + take})")
+        for s, e in gaps:
+            record(s, e)
+
+    # ------------------------------------------------------------------
+    # Core bit access
+    # ------------------------------------------------------------------
     def bit(self, node: object, index: int) -> int:
         """Metered access to bit ``index`` of ``node``'s random string."""
-        key = (node, index)
-        cached = self._served.get(key)
-        if cached is not None:
-            return cached
-        if self._bit_budget is not None and self.bits_consumed >= self._bit_budget:
+        ledger = self._ledgers.get(node)
+        if self._bit_budget is not None \
+                and self._total_consumed >= self._bit_budget \
+                and (ledger is None or not ledger.covers(index)):
             raise RandomnessExhausted(
                 f"bit budget of {self._bit_budget} bits exhausted "
                 f"(node {node!r} requested index {index})"
@@ -59,13 +152,39 @@ class RandomSource(abc.ABC):
         value = self._raw_bit(node, index)
         if value not in (0, 1):
             raise ConfigurationError(f"_raw_bit returned non-bit value {value!r}")
-        self._served[key] = value
-        self._per_node_count[node] = self._per_node_count.get(node, 0) + 1
+        if ledger is None:
+            ledger = self._ledgers[node] = IntervalSet()
+        self._total_consumed += ledger.add(index, index + 1)
         return value
 
     def bits(self, node: object, count: int, offset: int = 0) -> List[int]:
         """Return ``count`` consecutive bits starting at ``offset``."""
-        return [self.bit(node, offset + i) for i in range(count)]
+        return self.bits_block(node, count, offset).tolist()
+
+    def bits_block(self, node: object, count: int,
+                   offset: int = 0) -> np.ndarray:
+        """Metered bulk read: ``count`` bits from ``offset`` as uint8.
+
+        One ledger operation and one block-wise generation regardless of
+        ``count``; consumption is identical to ``count`` calls of
+        :meth:`bit` — including on the error path: a read that runs past
+        a bounded stream's end meters the valid prefix before raising,
+        exactly as the per-bit walk would.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.uint8)
+        limit = self._stream_limit(node)
+        if limit is not None and (offset < 0 or offset + count > limit):
+            # Out-of-range request on a bounded stream: walk bit-by-bit
+            # so the served prefix is recorded and the source's own
+            # range error surfaces at the first invalid index.
+            out = np.empty(count, dtype=np.uint8)
+            for i in range(count):
+                out[i] = self.bit(node, offset + i)
+            return out
+        values = self._raw_block(node, offset, count)
+        self._consume(node, offset, offset + count)
+        return values
 
     # ------------------------------------------------------------------
     # Derived samplers
@@ -76,7 +195,8 @@ class RandomSource(abc.ABC):
         Uses rejection sampling over ``ceil(log2 bound)`` bits per attempt,
         which preserves exact uniformity (important for the limited-
         independence analyses). Returns ``(value, bits_used)`` so callers
-        can advance their stream offset.
+        can advance their stream offset. Each attempt is one bulk block
+        read, not ``width`` per-bit calls.
         """
         if bound <= 0:
             raise ConfigurationError(f"bound must be positive, got {bound}")
@@ -87,15 +207,89 @@ class RandomSource(abc.ABC):
         # Cap rejection attempts; the failure probability per attempt is
         # < 1/2, so 64 attempts fail with probability < 2^-64.
         for _ in range(64):
-            value = 0
-            for i in range(width):
-                value = (value << 1) | self.bit(node, offset + used)
-                used += 1
+            chunk = self.bits_block(node, width, offset + used)
+            used += width
+            value = pack_bits(chunk)
             if value < bound:
                 return value, used
         raise RandomnessExhausted(
             f"rejection sampling for bound {bound} did not converge"
         )
+
+    def uniform_ints(self, node: object, bound: int, count: int,
+                     offset: int = 0) -> Tuple[np.ndarray, int]:
+        """``count`` uniform draws in ``[0, bound)`` in one vectorized call.
+
+        Sequential-equivalent: the values and the total bits consumed are
+        exactly those of ``count`` back-to-back :meth:`uniform_int` calls
+        starting at ``offset``. Returns ``(values, bits_used)``.
+
+        This is the bulk entry point for sweep-style consumers that take
+        many draws from one node's stream (e.g. a vectorized node-program
+        API batching a node's per-round trials — the ROADMAP's next
+        engine step); the engine-backed algorithms draw one value per
+        round and go through :meth:`uniform_int`, which shares the same
+        block-read path.
+        """
+        if bound <= 0:
+            raise ConfigurationError(f"bound must be positive, got {bound}")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64), 0
+        if bound == 1:
+            return np.zeros(count, dtype=np.int64), 0
+        width = (bound - 1).bit_length()
+        limit = self._stream_limit(node)
+        if limit is not None:
+            # Bounded streams are short; the peek-ahead fast path could
+            # step past the end even when the needed draws fit. Fall back
+            # to the exact sequential loop.
+            values = np.empty(count, dtype=np.int64)
+            used = 0
+            for i in range(count):
+                values[i], step = self.uniform_int(node, bound, offset + used)
+                used += step
+            return values, used
+
+        weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
+        values = np.empty(count, dtype=np.int64)
+        got = 0
+        pos = offset
+        rejected_run = 0
+        while got < count:
+            need = count - got
+            # Headroom for rejections (< 1/2 per attempt in expectation).
+            chunks = need + 4 + need // 2
+            raw = self._raw_block(node, pos, chunks * width)
+            vals = raw.reshape(chunks, width).astype(np.int64) @ weights
+            accepted = np.flatnonzero(vals < bound)
+            take = min(accepted.size, need)
+            if take:
+                lead = int(accepted[0]) + rejected_run
+                inner = np.diff(accepted[:take]) - 1
+                worst = max(lead, int(inner.max()) if inner.size else 0)
+                if worst >= 64:
+                    raise RandomnessExhausted(
+                        f"rejection sampling for bound {bound} did not converge"
+                    )
+                values[got:got + take] = vals[accepted[:take]]
+                got += take
+                consumed_chunks = int(accepted[take - 1]) + 1
+                rejected_run = 0
+                if got < count:
+                    # Everything after the last taken accept was rejected.
+                    rejected_run = chunks - consumed_chunks
+                    consumed_chunks = chunks
+            else:
+                rejected_run += chunks
+                consumed_chunks = chunks
+            if rejected_run >= 64:
+                self._consume(node, pos, pos + consumed_chunks * width)
+                raise RandomnessExhausted(
+                    f"rejection sampling for bound {bound} did not converge"
+                )
+            self._consume(node, pos, pos + consumed_chunks * width)
+            pos += consumed_chunks * width
+        return values, pos - offset
 
     def bernoulli(self, node: object, numer: int, denom: int,
                   offset: int = 0) -> Tuple[int, int]:
@@ -117,16 +311,66 @@ class RandomSource(abc.ABC):
         coins until the first tail; the value is the index of that flip.
         The value is capped at ``cap`` (the paper caps at Theta(log n),
         which holds w.h.p. anyway). Returns ``(value, bits_used)``.
+
+        Only the bits actually examined (up to and including the first
+        tail) are consumed, exactly as with bit-at-a-time flipping.
         """
         if cap < 1:
             raise ConfigurationError(f"cap must be at least 1, got {cap}")
-        used = 0
-        for k in range(1, cap + 1):
-            flip = self.bit(node, offset + used)
-            used += 1
-            if flip == 0:
-                return k, used
-        return cap, used
+        limit = self._stream_limit(node)
+        if limit is not None and offset + cap > limit:
+            # Short stream: flip bit-by-bit so a run that ends before the
+            # stream does still succeeds (and exhaustion raises exactly
+            # where the per-bit walk would have hit the end).
+            used = 0
+            for k in range(1, cap + 1):
+                flip = self.bit(node, offset + used)
+                used += 1
+                if flip == 0:
+                    return k, used
+            return cap, used
+        raw = self._raw_block(node, offset, cap)
+        zeros = np.flatnonzero(raw == 0)
+        if zeros.size:
+            used = int(zeros[0]) + 1
+            value = used
+        else:
+            used = cap
+            value = cap
+        self._consume(node, offset, offset + used)
+        return value, used
+
+    def geometrics(self, nodes: Sequence[object], cap: int,
+                   offset: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """One Geometric(1/2) draw per node, all at the same ``offset``.
+
+        The bulk form of :meth:`geometric` for phase-structured
+        algorithms (Elkin–Neiman shifts: every live node draws from its
+        own stream's block ``[offset, offset + cap)``). Returns
+        ``(values, bits_used)`` arrays aligned with ``nodes``; values and
+        metering match per-node :meth:`geometric` calls exactly, with
+        the argument validation and dispatch hoisted out of the loop
+        (each node still needs its own PRF block and ledger entry, so
+        the per-node work is O(1) block operations, not per-bit ones).
+        """
+        if cap < 1:
+            raise ConfigurationError(f"cap must be at least 1, got {cap}")
+        values = np.empty(len(nodes), dtype=np.int64)
+        used = np.empty(len(nodes), dtype=np.int64)
+        raw_block = self._raw_block
+        consume = self._consume
+        for i, node in enumerate(nodes):
+            limit = self._stream_limit(node)
+            if limit is not None and offset + cap > limit:
+                values[i], used[i] = self.geometric(node, cap, offset)
+                continue
+            raw = raw_block(node, offset, cap)
+            zeros = np.flatnonzero(raw == 0)
+            step = int(zeros[0]) + 1 if zeros.size else cap
+            consume(node, offset, offset + step)
+            values[i] = step if zeros.size else cap
+            used[i] = step
+        return values, used
 
     # ------------------------------------------------------------------
     # Accounting
@@ -134,20 +378,21 @@ class RandomSource(abc.ABC):
     @property
     def bits_consumed(self) -> int:
         """Number of distinct bits served so far, across all nodes."""
-        return len(self._served)
+        return self._total_consumed
 
     def bits_consumed_by(self, node: object) -> int:
         """Number of distinct bits served to one node."""
-        return self._per_node_count.get(node, 0)
+        ledger = self._ledgers.get(node)
+        return ledger.total if ledger is not None else 0
 
     def nodes_touched(self) -> Iterable[object]:
         """Nodes that have consumed at least one bit."""
-        return self._per_node_count.keys()
+        return self._ledgers.keys()
 
     def reset_meter(self) -> None:
         """Clear the ledger (bits remain a deterministic seed function)."""
-        self._served.clear()
-        self._per_node_count.clear()
+        self._ledgers.clear()
+        self._total_consumed = 0
 
     def describe(self) -> str:
         """One-line human-readable description of the source."""

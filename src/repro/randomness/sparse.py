@@ -20,12 +20,21 @@ that is exactly what Lemma 3.2's clustering does, and why the
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, Set
 
 import networkx as nx
+import numpy as np
 
 from ..errors import ConfigurationError, ModelViolation
 from .source import RandomSource
+
+
+def _csr_index(graph: nx.Graph):
+    """CSR arrays plus a label -> index map for an nx graph."""
+    from ..sim.batch.csr import nx_to_csr
+
+    offsets, indices, nodes = nx_to_csr(graph)
+    return offsets, indices, {label: i for i, label in enumerate(nodes)}
 
 
 def covering_holders(graph: nx.Graph, h: int, *, seed: int = 0,
@@ -52,16 +61,21 @@ def covering_holders(graph: nx.Graph, h: int, *, seed: int = 0,
         digest = hashlib.sha256(f"holders:{seed}:{v!r}".encode()).digest()
         return int.from_bytes(digest[:8], "big")
 
+    # CSR-based bounded BFS (one vectorized frontier sweep per candidate)
+    # instead of one networkx dict per ball.
+    from ..sim.batch.csr import bfs_distances
+
+    offsets, indices, index_of = _csr_index(graph)
     order = sorted(nodes, key=sort_key)
     holders: Set = set()
-    covered: Set = set()
+    covered = np.zeros(len(index_of), dtype=bool)
     for v in order:
-        if v in covered:
+        vi = index_of[v]
+        if covered[vi]:
             continue
         holders.add(v)
         # Mark the h-ball of v as covered.
-        ball = nx.single_source_shortest_path_length(graph, v, cutoff=h)
-        covered.update(ball.keys())
+        covered |= bfs_distances(offsets, indices, vi, cutoff=h) >= 0
     return holders
 
 
@@ -107,22 +121,28 @@ class SparseRandomness(RandomSource):
             )
         return self._values[node]
 
+    def _stream_limit(self, node: object) -> int:
+        return 1 if node in self.holders else 0
+
     def holder_bit(self, node: object) -> int:
         """The single bit of a holder node."""
         return self.bit(node, 0)
 
     def verify_covering(self, graph: nx.Graph) -> bool:
         """Check every node has a holder within ``h`` hops (the premise)."""
+        from ..sim.batch.csr import bfs_distances
+
         graph = getattr(graph, "nx", graph)  # accept DistributedGraph too
-        remaining = set(graph.nodes())
+        offsets, indices, index_of = _csr_index(graph)
+        covered = np.zeros(len(index_of), dtype=bool)
         for s in self.holders:
-            if s not in graph:
+            if s not in index_of:
                 continue
-            ball = nx.single_source_shortest_path_length(graph, s, cutoff=self.h)
-            remaining.difference_update(ball.keys())
-            if not remaining:
+            covered |= bfs_distances(offsets, indices, index_of[s],
+                                     cutoff=self.h) >= 0
+            if covered.all():
                 return True
-        return not remaining
+        return bool(covered.all())
 
     @classmethod
     def for_graph(cls, graph, h: int, seed: int = 0,

@@ -15,12 +15,85 @@ model only bounds them by Θ(log n) bits, not by machine-word width.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...errors import ConfigurationError
 from ..graph import DistributedGraph
+
+
+def bfs_distances(offsets: np.ndarray, indices: np.ndarray, source: int,
+                  cutoff: Optional[int] = None) -> np.ndarray:
+    """Hop distances from ``source`` over a CSR adjacency.
+
+    Returns an ``int64[n]`` array with -1 for nodes unreached (because of
+    disconnection or the ``cutoff``). Frontier expansion is fully
+    vectorized: one fancy-gather per level instead of one networkx dict
+    per call — the ball/weak-diameter workhorse for orchestrated
+    pipelines.
+    """
+    n = offsets.size - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and (cutoff is None or depth < cutoff):
+        starts = offsets[frontier]
+        counts = offsets[frontier + 1] - starts
+        total = int(counts.sum())
+        if not total:
+            break
+        base = np.repeat(starts - (np.cumsum(counts) - counts), counts)
+        neighbors = indices[base + np.arange(total)]
+        neighbors = neighbors[dist[neighbors] < 0]
+        if not neighbors.size:
+            break
+        frontier = np.unique(neighbors)
+        depth += 1
+        dist[frontier] = depth
+    return dist
+
+
+def adjacency_to_csr(neighbor_lists: Sequence[Sequence[int]]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten index-keyed neighbor lists into (offsets, indices) arrays."""
+    degrees = np.fromiter((len(a) for a in neighbor_lists), dtype=np.int64,
+                          count=len(neighbor_lists))
+    offsets = np.zeros(len(neighbor_lists) + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    indices = np.empty(int(offsets[-1]), dtype=np.int64)
+    for v, adj in enumerate(neighbor_lists):
+        indices[offsets[v]:offsets[v + 1]] = adj
+    return offsets, indices
+
+
+def distances_to_ball(dist: np.ndarray) -> Dict[int, int]:
+    """BFS distance array -> ``{node: distance}`` for reached nodes."""
+    reached = np.flatnonzero(dist >= 0)
+    return dict(zip(reached.tolist(), dist[reached].tolist()))
+
+
+def nx_to_csr(graph) -> Tuple[np.ndarray, np.ndarray, List]:
+    """CSR arrays for an arbitrary networkx graph.
+
+    Returns ``(offsets, indices, nodes)`` where ``nodes`` is the sorted
+    label list defining the index mapping (position = index). Mixed,
+    mutually unorderable label types fall back to a stable
+    type-then-repr ordering (mirroring :class:`~repro.sim.graph.
+    DistributedGraph`). Used by callers that run BFS over graphs whose
+    labels are not ``0..n-1`` (e.g. holder selection in
+    :mod:`repro.randomness.sparse`).
+    """
+    try:
+        nodes = sorted(graph.nodes())
+    except TypeError:
+        nodes = sorted(graph.nodes(),
+                       key=lambda x: (type(x).__name__, repr(x)))
+    index_of = {label: i for i, label in enumerate(nodes)}
+    neighbor_lists = [[index_of[u] for u in graph.neighbors(v)] for v in nodes]
+    offsets, indices = adjacency_to_csr(neighbor_lists)
+    return offsets, indices, nodes
 
 
 class CSRGraph:
@@ -129,6 +202,17 @@ class CSRGraph:
     def uid_bits(self) -> int:
         """Bits needed to write any UID (the Θ(log n) of the model)."""
         return max(self.uids).bit_length()
+
+    # ------------------------------------------------------------------
+    # Distance queries (vectorized BFS over the frozen arrays)
+    # ------------------------------------------------------------------
+    def bfs_distances(self, v: int, cutoff: Optional[int] = None) -> np.ndarray:
+        """Distances from ``v`` (int64, -1 = unreached / beyond cutoff)."""
+        return bfs_distances(self.offsets, self.indices, v, cutoff)
+
+    def ball(self, v: int, radius: int) -> Dict[int, int]:
+        """Map of node -> distance for all nodes within ``radius`` of v."""
+        return distances_to_ball(self.bfs_distances(v, cutoff=radius))
 
     # ------------------------------------------------------------------
     # Cached Python-level views (what the fast engine actually reads)

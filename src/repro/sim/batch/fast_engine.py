@@ -105,8 +105,13 @@ class FastEngine:
         """Validate an outbox; return a compact send record or None.
 
         The record is ``(_BCAST, payload, bits)`` for a pure broadcast or
-        ``(resolved_dict, None, None)`` otherwise; ``bits`` is the sized
-        payload so delivery never re-measures broadcast messages.
+        ``(resolved_dict, sizes_dict, None)`` otherwise; message sizes
+        are measured here, once per distinct payload *object* in the
+        outbox (programs typically fan one tuple out to many targets),
+        so delivery never re-measures. The memo is keyed by ``id`` and
+        lives only for this call, while the outbox still references
+        every payload — no aliasing of equal-but-differently-sized
+        values (e.g. ``True`` vs ``1``) is possible.
         """
         if not outbox:
             return None
@@ -139,17 +144,22 @@ class FastEngine:
                     f"node {v} tried to send to non-neighbor {target!r}"
                 )
             resolved[target] = payload
-        if congest:
-            for target, payload in resolved.items():
-                size = message_bits(payload)
-                if size > self.bandwidth:
-                    raise BandwidthExceeded(
-                        f"node {v} -> {target}: message of {size} bits exceeds "
-                        f"CONGEST limit of {self.bandwidth} bits"
-                    )
         if not resolved:
             return None
-        return (resolved, None, None)
+        sizes: Dict[int, int] = {}
+        seen: Dict[int, int] = {}
+        for target, payload in resolved.items():
+            size = seen.get(id(payload))
+            if size is None:
+                size = message_bits(payload)
+                seen[id(payload)] = size
+            if congest and size > self.bandwidth:
+                raise BandwidthExceeded(
+                    f"node {v} -> {target}: message of {size} bits exceeds "
+                    f"CONGEST limit of {self.bandwidth} bits"
+                )
+            sizes[target] = size
+        return (resolved, sizes, None)
 
     # ------------------------------------------------------------------
     # Execution
@@ -203,13 +213,14 @@ class FastEngine:
                     if bits > max_bits:
                         max_bits = bits
                 else:
+                    sizes = payload  # target -> bits, measured at resolve
                     for target, item in head.items():
                         inbox = received.get(target)
                         if inbox is None:
                             inbox = received[target] = {}
                         inbox[sender] = item
                         messages += 1
-                        size = message_bits(item)
+                        size = sizes[target]
                         total_bits += size
                         if size > max_bits:
                             max_bits = size

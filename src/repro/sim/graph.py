@@ -12,6 +12,7 @@ import random
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..errors import ConfigurationError
 
@@ -65,6 +66,7 @@ class DistributedGraph:
         self._uid_to_index = {uid: i for i, uid in enumerate(self._uids)}
         self._adj: List[List[int]] = [sorted(self.nx.neighbors(v))
                                       for v in range(self.n)]
+        self._csr_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Topology access
@@ -105,16 +107,33 @@ class DistributedGraph:
     # ------------------------------------------------------------------
     # Distance helpers (used by orchestrated algorithms and checkers)
     # ------------------------------------------------------------------
+    def _csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Lazily frozen (offsets, indices) CSR arrays for BFS queries.
+
+        The topology is treated as immutable after construction (the
+        batch engine already relies on this); the arrays are built once
+        on the first distance query.
+        """
+        if self._csr_arrays is None:
+            from .batch.csr import adjacency_to_csr
+            self._csr_arrays = adjacency_to_csr(self._adj)
+        return self._csr_arrays
+
+    def bfs_distances(self, v: int, cutoff: Optional[int] = None) -> np.ndarray:
+        """Distances from ``v`` (int64, -1 = unreached / beyond cutoff)."""
+        from .batch.csr import bfs_distances
+        offsets, indices = self._csr()
+        return bfs_distances(offsets, indices, v, cutoff)
+
     def ball(self, v: int, radius: int) -> Dict[int, int]:
         """Map of node -> distance for all nodes within ``radius`` of v."""
-        return nx.single_source_shortest_path_length(self.nx, v, cutoff=radius)
+        from .batch.csr import distances_to_ball
+        return distances_to_ball(self.bfs_distances(v, cutoff=radius))
 
     def distance(self, u: int, v: int) -> Optional[int]:
         """Hop distance between u and v, or None if disconnected."""
-        try:
-            return nx.shortest_path_length(self.nx, u, v)
-        except nx.NetworkXNoPath:
-            return None
+        d = int(self.bfs_distances(u)[v])
+        return d if d >= 0 else None
 
     def eccentricity_bound(self) -> int:
         """An upper bound on any finite distance (n is always safe)."""
@@ -140,17 +159,15 @@ class DistributedGraph:
 
     def weak_diameter(self, nodes: Iterable[int]) -> int:
         """Max distance *in G* between any two of the given nodes."""
-        node_list = list(nodes)
+        members = np.fromiter(nodes, dtype=np.int64)
         best = 0
-        for v in node_list:
-            lengths = nx.single_source_shortest_path_length(self.nx, v)
-            for u in node_list:
-                d = lengths.get(u)
-                if d is None:
-                    raise ConfigurationError(
-                        "weak diameter undefined: nodes in different components"
-                    )
-                best = max(best, d)
+        for v in members.tolist():
+            lengths = self.bfs_distances(v)[members]
+            if np.any(lengths < 0):
+                raise ConfigurationError(
+                    "weak diameter undefined: nodes in different components"
+                )
+            best = max(best, int(lengths.max()))
         return best
 
     def power_graph(self, r: int) -> "DistributedGraph":

@@ -74,8 +74,10 @@ class NodeContext:
         return bit
 
     def rand_bits(self, count: int) -> List[int]:
-        """``count`` fresh private random bits."""
-        return [self.rand_bit() for _ in range(count)]
+        """``count`` fresh private random bits (one bulk stream read)."""
+        bits = self._require_source().bits(self.v, count, self._cursor)
+        self._cursor += count
+        return bits
 
     def rand_uniform(self, bound: int) -> int:
         """Fresh uniform integer in ``[0, bound)``."""

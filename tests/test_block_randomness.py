@@ -1,0 +1,351 @@
+"""Block-mode randomness: purity, interval-ledger parity, CSR BFS.
+
+The PR that introduced counter-mode block generation and interval-based
+metering must preserve the :class:`~repro.randomness.source.RandomSource`
+contract exactly:
+
+* a source is a pure function of ``(seed, node, index)`` — random access
+  equals sequential access equals bulk access;
+* the interval ledger reports the same counts as per-bit bookkeeping;
+* ``bit_budget`` exhaustion raises at the same consumed-bit count;
+* the bulk samplers consume exactly the bits their per-call forms would.
+
+Plus the CSR-BFS ports of ``ball``/``weak_diameter``/holder selection,
+checked against networkx ground truth.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RandomnessExhausted
+from repro.graphs import assign, make
+from repro.randomness import (
+    EpsilonBiasedSource,
+    IndependentSource,
+    IntervalSet,
+    KWiseSource,
+    SharedRandomness,
+    SparseRandomness,
+    covering_holders,
+)
+from repro.randomness.pooled import PooledBits
+from repro.sim.batch.csr import CSRGraph, bfs_distances, nx_to_csr
+from repro.sim.graph import DistributedGraph
+
+
+def _sources():
+    """One instance of every bounded/unbounded source under test."""
+    return [
+        IndependentSource(seed=3),
+        SharedRandomness(512, seed=3),
+        KWiseSource(4, num_nodes=8, bits_per_node=64, seed=3),
+        EpsilonBiasedSource(num_nodes=8, bits_per_node=64, epsilon=0.05, seed=3),
+        PooledBits({v: [(v * 7 + i) % 3 % 2 for i in range(64)]
+                    for v in range(8)}),
+    ]
+
+
+class TestPurity:
+    """Block-mode bits are a pure function of (seed, node, index)."""
+
+    def test_random_access_equals_sequential(self):
+        for source in _sources():
+            twin = type(source).__name__
+            seq = {(v, i): source.bit(v, i)
+                   for v in range(8) for i in range(64)}
+            # A fresh instance read in a scrambled order must agree.
+            other = [s for s in _sources()
+                     if type(s).__name__ == twin][0]
+            rng = np.random.default_rng(1)
+            order = [(v, i) for v in range(8) for i in range(64)]
+            for j in rng.permutation(len(order)).tolist():
+                v, i = order[j]
+                assert other.bit(v, i) == seq[(v, i)], twin
+
+    def test_bulk_equals_scalar(self):
+        for source in _sources():
+            name = type(source).__name__
+            for v in range(8):
+                block = source.bits_block(v, 64)
+                assert block.dtype == np.uint8
+                assert [source.bit(v, i) for i in range(64)] == \
+                    block.tolist(), name
+
+    def test_offset_blocks_are_views_of_the_same_stream(self):
+        source = IndependentSource(seed=9)
+        whole = source.bits_block("n", 600)  # spans >1 PRF block
+        for start, count in ((0, 13), (500, 100), (511, 2), (37, 512)):
+            assert source.bits_block("n", count, start).tolist() == \
+                whole[start:start + count].tolist()
+
+    def test_same_seed_same_stream_different_seed_differs(self):
+        a = IndependentSource(seed=5)
+        b = IndependentSource(seed=5)
+        c = IndependentSource(seed=6)
+        assert a.bits(0, 256) == b.bits(0, 256)
+        assert a.bits(0, 256) != c.bits(0, 256)
+
+
+class _PerBitReference:
+    """The old dict-per-bit ledger, reimplemented as ground truth."""
+
+    def __init__(self):
+        self.served = set()
+
+    def consume(self, node, start, end):
+        for i in range(start, end):
+            self.served.add((node, i))
+
+    def total(self):
+        return len(self.served)
+
+    def by_node(self, node):
+        return sum(1 for (v, _i) in self.served if v == node)
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 3),          # node
+              st.integers(0, 200),        # offset
+              st.integers(1, 40)),        # count
+    min_size=1, max_size=30))
+def test_interval_ledger_matches_per_bit_ledger(ops):
+    """Arbitrary overlapping reads: interval counts == per-bit counts."""
+    source = IndependentSource(seed=11)
+    reference = _PerBitReference()
+    for node, offset, count in ops:
+        source.bits_block(node, count, offset)
+        reference.consume(node, offset, offset + count)
+    assert source.bits_consumed == reference.total()
+    for node in range(4):
+        assert source.bits_consumed_by(node) == reference.by_node(node)
+    assert set(source.nodes_touched()) == {v for v, _ in reference.served}
+
+
+@given(st.lists(st.tuples(st.integers(0, 60), st.integers(1, 20)),
+                min_size=1, max_size=20))
+def test_interval_set_matches_set_semantics(ranges):
+    ledger = IntervalSet()
+    model = set()
+    for start, length in ranges:
+        added = ledger.add(start, start + length)
+        fresh = set(range(start, start + length)) - model
+        assert added == len(fresh)
+        model |= fresh
+        assert ledger.total == len(model)
+    for start, length in ranges:
+        assert ledger.missing(start, start + length) == []
+    # Gaps reported by missing() are exactly the uncovered integers.
+    gaps = ledger.missing(0, 100)
+    uncovered = {i for i in range(100) if i not in model}
+    assert {i for s, e in gaps for i in range(s, e)} == uncovered
+
+
+class TestBudget:
+    def test_bulk_exhaustion_raises_at_same_count(self):
+        # Per-bit reference: budget 10, reads of 4+4 fine, next 4 raises
+        # after serving 2 — the ledger must stop at exactly 10.
+        source = IndependentSource(seed=1, bit_budget=10)
+        source.bits_block("a", 4)
+        source.bits_block("a", 4, 4)
+        with pytest.raises(RandomnessExhausted):
+            source.bits_block("a", 4, 8)
+        assert source.bits_consumed == 10
+        assert source.bits_consumed_by("a") == 10
+
+    def test_exhaustion_message_names_first_unserved_index(self):
+        source = IndependentSource(seed=1, bit_budget=6)
+        with pytest.raises(RandomnessExhausted, match="index 6"):
+            source.bits_block("a", 9)
+        assert source.bits_consumed == 6
+
+    def test_rereads_are_free_under_budget(self):
+        source = IndependentSource(seed=1, bit_budget=8)
+        first = source.bits("a", 8)
+        assert source.bits("a", 8) == first       # full bulk re-read
+        assert source.bit("a", 3) == first[3]     # scalar re-read
+        assert source.bits_consumed == 8
+        with pytest.raises(RandomnessExhausted):
+            source.bit("a", 8)
+
+    def test_partially_cached_bulk_read_counts_only_fresh_bits(self):
+        source = IndependentSource(seed=1, bit_budget=12)
+        source.bits_block("a", 8)
+        source.bits_block("a", 8, 4)  # 4 cached + 4 fresh
+        assert source.bits_consumed == 12
+        with pytest.raises(RandomnessExhausted):
+            source.bit("a", 12)
+
+
+class TestErrorPathParity:
+    def test_bits_block_past_pool_end_meters_valid_prefix(self):
+        # Per-bit reference: bit(0..3) serve, bit(4) raises -> 4 consumed.
+        bulk = PooledBits({"n": [1, 0, 1, 1]})
+        with pytest.raises(RandomnessExhausted):
+            bulk.bits_block("n", 6)
+        assert bulk.bits_consumed == 4
+        assert bulk.bits_consumed_by("n") == 4
+
+    def test_bits_block_past_shared_end_meters_valid_prefix(self):
+        shared = SharedRandomness(8, seed=1)
+        with pytest.raises(RandomnessExhausted):
+            shared.global_bits(12)
+        assert shared.bits_consumed == 8
+
+    def test_sized_cache_does_not_alias_bool_and_int_payloads(self):
+        # True == 1 and hash(True) == hash(1), but they encode to
+        # different message sizes; the engines must agree bit-for-bit.
+        from repro.sim import CONGEST, FastEngine, SyncEngine
+        from repro.sim.node import NodeProgram
+
+        class AliasingProgram(NodeProgram):
+            def init(self, ctx):
+                return {u: 1 for u in ctx.neighbors}
+
+            def step(self, ctx, round_index, inbox):
+                if round_index == 1:
+                    return {u: True for u in ctx.neighbors}
+                ctx.finish(sorted(inbox.values()))
+                return {}
+
+        g = assign(make("cycle", 8), "random", seed=1)
+        fast = FastEngine(g, lambda _v: AliasingProgram(),
+                          model=CONGEST).run()
+        sync = SyncEngine(g, lambda _v: AliasingProgram(),
+                          model=CONGEST).run()
+        assert fast.outputs == sync.outputs
+        assert fast.report.total_bits == sync.report.total_bits
+        assert fast.report.max_message_bits == sync.report.max_message_bits
+
+
+class TestBulkSamplers:
+    @given(st.integers(2, 200), st.integers(1, 30), st.integers(0, 50))
+    def test_uniform_ints_equals_sequential(self, bound, count, offset):
+        bulk = IndependentSource(seed=21)
+        seq = IndependentSource(seed=21)
+        values, used = bulk.uniform_ints("n", bound, count, offset)
+        expected = []
+        cursor = offset
+        for _ in range(count):
+            value, step = seq.uniform_int("n", bound, cursor)
+            cursor += step
+            expected.append(value)
+        assert values.tolist() == expected
+        assert used == cursor - offset
+        assert bulk.bits_consumed == seq.bits_consumed
+        assert all(0 <= v < bound for v in values.tolist())
+
+    def test_uniform_ints_on_bounded_source(self):
+        shared = SharedRandomness(400, seed=4)
+        ref = SharedRandomness(400, seed=4)
+        values, used = shared.uniform_ints("__shared__", 5, 20)
+        cursor = 0
+        for v in values.tolist():
+            expected, step = ref.uniform_int("__shared__", 5, cursor)
+            assert v == expected
+            cursor += step
+        assert used == cursor
+        assert shared.bits_consumed == ref.bits_consumed
+
+    @given(st.integers(1, 40), st.integers(0, 100))
+    def test_geometric_block_equals_per_bit(self, cap, offset):
+        fast = IndependentSource(seed=33)
+        slow = IndependentSource(seed=33)
+        value, used = fast.geometric("g", cap, offset)
+        # Per-bit reference walk.
+        expected_used = 0
+        expected = cap
+        for k in range(1, cap + 1):
+            flip = slow.bit("g", offset + expected_used)
+            expected_used += 1
+            if flip == 0:
+                expected = k
+                break
+        assert (value, used) == (expected, expected_used)
+        assert fast.bits_consumed == slow.bits_consumed == expected_used
+
+    def test_geometrics_matches_scalar_calls(self):
+        bulk = IndependentSource(seed=8)
+        seq = IndependentSource(seed=8)
+        nodes = list(range(20))
+        values, used = bulk.geometrics(nodes, cap=12, offset=36)
+        for i, v in enumerate(nodes):
+            value, step = seq.geometric(v, 12, 36)
+            assert (values[i], used[i]) == (value, step)
+        assert bulk.bits_consumed == seq.bits_consumed
+
+    def test_geometric_near_end_of_bounded_stream(self):
+        # cap reaches past the pool's end but the draw ends before it:
+        # must succeed, exactly like bit-at-a-time flipping.
+        pool = PooledBits({"c": [1, 1, 0, 1]})
+        value, used = pool.geometric("c", cap=10)
+        assert (value, used) == (3, 3)
+        pool2 = PooledBits({"c": [1, 1, 1, 1]})
+        with pytest.raises(RandomnessExhausted):
+            pool2.geometric("c", cap=10)
+
+
+class TestCSRDistances:
+    def _graphs(self):
+        for family, seed in (("grid", 1), ("gnp-sparse", 2), ("tree", 3),
+                             ("cliques", 4)):
+            yield assign(make(family, 36, seed=seed), "random", seed=seed)
+        # A disconnected graph exercises the -1 path.
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2), (3, 4)])
+        g.add_node(5)
+        yield DistributedGraph(g)
+
+    def test_ball_matches_networkx(self):
+        for g in self._graphs():
+            for v in (0, g.n // 2, g.n - 1):
+                for radius in (0, 1, 2, 5):
+                    expected = nx.single_source_shortest_path_length(
+                        g.nx, v, cutoff=radius)
+                    assert g.ball(v, radius) == dict(expected)
+
+    def test_distance_matches_networkx(self):
+        for g in self._graphs():
+            for u in (0, g.n - 1):
+                for v in range(g.n):
+                    try:
+                        expected = nx.shortest_path_length(g.nx, u, v)
+                    except nx.NetworkXNoPath:
+                        expected = None
+                    assert g.distance(u, v) == expected
+
+    def test_weak_diameter_matches_pairwise_distances(self):
+        g = assign(make("grid", 36, seed=5), "random", seed=5)
+        members = [0, 7, 14, 30]
+        expected = max(nx.shortest_path_length(g.nx, u, v)
+                       for u in members for v in members)
+        assert g.weak_diameter(members) == expected
+        assert g.weak_diameter([3]) == 0
+
+    def test_csr_graph_ball_agrees_with_distributed_graph(self):
+        g = assign(make("gnp-sparse", 40, seed=9), "random", seed=9)
+        csr = CSRGraph.from_graph(g)
+        for v in (0, 17, 39):
+            assert csr.ball(v, 3) == g.ball(v, 3)
+
+    def test_bfs_distances_on_nx_labels(self):
+        g = nx.relabel_nodes(nx.path_graph(6), {i: f"v{i}" for i in range(6)})
+        offsets, indices, nodes = nx_to_csr(g)
+        dist = bfs_distances(offsets, indices, nodes.index("v0"))
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_covering_holders_still_cover(self):
+        g = assign(make("grid", 36, seed=2), "random", seed=2)
+        for h in (1, 2, 3):
+            holders = covering_holders(g, h, seed=7)
+            source = SparseRandomness(holders, h, seed=7)
+            assert source.verify_covering(g)
+            # Pairwise spread: sparse style keeps holders > h apart.
+            holder_list = sorted(holders)
+            for i, a in enumerate(holder_list):
+                for b in holder_list[i + 1:]:
+                    assert g.distance(a, b) > h
