@@ -1,0 +1,123 @@
+"""Benchmark: the array-native round engine vs FastEngine.
+
+Measures Luby MIS, FloodMin, and BFS-forest end-to-end on gnp-sparse
+graphs under both engines (same graph, same seed — the two backends are
+bit-identical, which each measurement re-asserts), then appends an entry
+to ``BENCH_ARRAY.json`` at the repo root. The acceptance bar pinned by
+PR 3 is
+
+* Luby MIS end-to-end (n=2000) >= 3x faster on ArrayEngine than the
+  block-mode FastEngine baseline — the same workload BENCH_RANDOM.json
+  records at 0.067s (block-mode entry); the bar is checked against a
+  FastEngine run measured fresh on this machine so it stays
+  hardware-independent.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_array.py -s
+
+Set ``BENCH_ARRAY_TINY=1`` (the CI smoke job does) to run a small
+sanity-size sweep without the machine-dependent speedup assertion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core.mis import luby_mis
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+from repro.sim.primitives import build_bfs_forest, flood_min
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_ARRAY.json"
+
+FAMILY = "gnp-sparse"
+GRAPH_SEED = 11
+SOURCE_SEED = 7
+SPEEDUP_BAR = 3.0
+
+
+def _tiny() -> bool:
+    return bool(os.environ.get("BENCH_ARRAY_TINY"))
+
+
+def _measure(run, reps: int):
+    """Best-of-reps seconds plus the (identical-across-reps) result."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _compare(make_run, reps: int) -> dict:
+    """Time both engines on one workload; assert bit-identical results."""
+    row = {}
+    results = {}
+    for engine in ("fast", "array"):
+        seconds, result = _measure(make_run(engine), reps)
+        row[engine] = {"seconds": round(seconds, 6),
+                       "rounds": result.report.rounds}
+        results[engine] = result
+    fast, array = results["fast"], results["array"]
+    assert array.outputs == fast.outputs, "engines disagree on outputs"
+    assert dataclasses.asdict(array.report) == \
+        dataclasses.asdict(fast.report), "engines disagree on reports"
+    row["speedup"] = round(row["fast"]["seconds"]
+                           / row["array"]["seconds"], 3)
+    return row
+
+
+def test_array_engine_speedup():
+    sizes = [120] if _tiny() else [500, 2000]
+    workloads = {}
+    for n in sizes:
+        graph = assign(make(FAMILY, n, seed=GRAPH_SEED), "random",
+                       seed=GRAPH_SEED)
+        reps = 4 if n >= 2000 else 6
+        workloads[f"luby-{FAMILY}-{n}"] = _compare(
+            lambda engine: lambda: luby_mis(
+                graph, IndependentSource(seed=SOURCE_SEED), engine=engine),
+            reps)
+        workloads[f"floodmin-{FAMILY}-{n}"] = _compare(
+            lambda engine: lambda: flood_min(graph, 16, engine=engine), reps)
+        workloads[f"bfs-{FAMILY}-{n}"] = _compare(
+            lambda engine: lambda: build_bfs_forest(
+                graph, {0}, engine=engine), reps)
+
+    entry = {
+        "label": "array-native round engine (CSR segment reductions)",
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "tiny": _tiny(),
+        "workloads": workloads,
+    }
+    existing = []
+    if BENCH_FILE.exists():
+        existing = json.loads(BENCH_FILE.read_text())
+    existing.append(entry)
+    BENCH_FILE.write_text(json.dumps(existing, indent=2) + "\n")
+
+    print()
+    for name, row in workloads.items():
+        print(f"{name}: fast {row['fast']['seconds'] * 1000:.1f}ms  "
+              f"array {row['array']['seconds'] * 1000:.1f}ms  "
+              f"({row['speedup']:.2f}x, {row['fast']['rounds']} rounds)")
+
+    if _tiny():
+        return  # CI smoke: parity and measurement paths only, no bars
+
+    key = f"luby-{FAMILY}-2000"
+    speedup = workloads[key]["speedup"]
+    print(f"Luby n=2000 array-engine speedup: {speedup:.2f}x "
+          f"(want >= {SPEEDUP_BAR}x)")
+    assert speedup >= SPEEDUP_BAR, \
+        f"ArrayEngine only {speedup:.2f}x FastEngine on {key}"

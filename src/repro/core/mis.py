@@ -21,10 +21,22 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+import numpy as np
+
+from ..errors import ConfigurationError
 from ..randomness.source import RandomSource
+from ..sim.batch.array import (
+    ArrayContext,
+    ArrayEngine,
+    ArrayProgram,
+    Sends,
+    int_message_bits,
+    tuple_message_bits,
+)
 from ..sim.batch.fast_engine import FastEngine
 from ..sim.engine import CONGEST
 from ..sim.graph import DistributedGraph
+from ..sim.messages import message_bits
 from ..sim.metrics import AlgorithmResult, RunReport
 from ..sim.node import NodeContext, NodeProgram
 from ..sim.slocal import SLocalSimulator, SLocalView
@@ -105,12 +117,120 @@ class LubyMIS(NodeProgram):
         return {}
 
 
+# Node statuses of the array-native Luby program. UNDECIDED nodes are
+# still iterating; WINNER/LOSER are decided-but-unfinished for exactly
+# one round (decision round -> announcement absorbed), mirroring the
+# window between st["decided"] flipping and ctx.finish in LubyMIS.
+_UNDECIDED, _WINNER, _LOSER, _DONE_IN, _DONE_OUT = 0, 1, 2, 3, 4
+
+#: (_IN,) and (_OUT,) announcements have the same fixed encoded size.
+_ANNOUNCE_BITS = message_bits((_IN,))
+assert _ANNOUNCE_BITS == message_bits((_OUT,))
+
+
+class ArrayLubyMIS(ArrayProgram):
+    """:class:`LubyMIS` as whole-round array operations.
+
+    The three-round iteration becomes three vectorized phase handlers
+    over per-node status/priority arrays. The key invariant making the
+    per-node ``alive`` sets unnecessary: a node's alive set at every
+    *send* moment equals its currently-undecided neighbors — undecided
+    nodes never announce, every decided node's IN/OUT announcement is
+    absorbed exactly one round after its decision, and the silent
+    all-neighbors-decided join can never happen adjacent to a live node.
+    Priorities are drawn from the same per-node streams at the same
+    cursors as the node program, so outputs, reports, and randomness
+    bills are bit-identical (``tests/test_array_engine.py``).
+    """
+
+    def init(self, ctx: ArrayContext) -> Optional[Sends]:
+        self.status = np.zeros(ctx.size, dtype=np.int8)
+        self.prio = np.zeros(ctx.size, dtype=np.int64)
+        return None
+
+    def step(self, ctx: ArrayContext, round_index: int) -> Optional[Sends]:
+        status = self.status
+        phase = round_index % 3
+        if phase == 1:
+            # OUT announcements from last round's losers land now; the
+            # announcers themselves finish.
+            losers = np.flatnonzero(status == _LOSER)
+            if losers.size:
+                status[losers] = _DONE_OUT
+                ctx.finish(losers, [False] * losers.size)
+            drawers = np.flatnonzero(status == _UNDECIDED)
+            if not drawers.size:
+                return None
+            values = ctx.rand_uniform_each(drawers, ctx.n ** 2)
+            self.prio[drawers] = values
+            alive = ctx.neighbor_sum(status[ctx.indices] == _UNDECIDED)
+            bits = tuple_message_bits(message_bits(_PRIO),
+                                      int_message_bits(values),
+                                      ctx.uid_message_bits[drawers])
+            return ctx.fanout(drawers, alive[drawers], bits)
+        if phase == 2:
+            undecided = status == _UNDECIDED
+            und_e = undecided[ctx.indices]
+            rival_val = ctx.neighbor_max(
+                np.where(und_e, self.prio[ctx.indices], -1))
+            top_e = und_e & (self.prio[ctx.indices] == rival_val[ctx.segments])
+            rival_uid = ctx.neighbor_max(
+                np.where(top_e, ctx.uids[ctx.indices], -1))
+            # "mine > every rival" on (value, uid) pairs: beat the
+            # lexicographic max (UIDs are distinct, so no full ties).
+            win = undecided & (
+                (rival_val < 0)
+                | (self.prio > rival_val)
+                | ((self.prio == rival_val) & (ctx.uids > rival_uid)))
+            winners = np.flatnonzero(win)
+            if not winners.size:
+                return None
+            status[winners] = _WINNER
+            alive = ctx.neighbor_sum(status[ctx.indices] == _UNDECIDED)
+            return ctx.fanout(winners, alive[winners], _ANNOUNCE_BITS)
+        # phase == 0: IN announcements land; winners finish, their
+        # undecided neighbors become losers (announcing OUT), and an
+        # undecided node whose alive set emptied joins the MIS.
+        pre_undecided = status == _UNDECIDED
+        winner_e = (status[ctx.indices] == _WINNER).astype(np.int64)
+        beaten = ctx.neighbor_max(winner_e, empty=0) > 0
+        # Alive sets right now: neighbors undecided at the start of this
+        # round (new losers included — their OUT only lands next round).
+        alive = ctx.neighbor_sum(pre_undecided[ctx.indices])
+        winners = np.flatnonzero(status == _WINNER)
+        if winners.size:
+            status[winners] = _DONE_IN
+            ctx.finish(winners, [True] * winners.size)
+        joiners = np.flatnonzero(pre_undecided & ~beaten & (alive == 0))
+        if joiners.size:
+            status[joiners] = _DONE_IN
+            ctx.finish(joiners, [True] * joiners.size)
+        new_losers = np.flatnonzero(pre_undecided & beaten)
+        if not new_losers.size:
+            return None
+        status[new_losers] = _LOSER
+        return ctx.fanout(new_losers, alive[new_losers], _ANNOUNCE_BITS)
+
+
 def luby_mis(graph: DistributedGraph, source: RandomSource,
-             max_rounds: int = 100_000) -> AlgorithmResult:
-    """Run Luby's algorithm on the engine in the CONGEST model."""
-    engine = FastEngine(graph, lambda _v: LubyMIS(), source=source,
-                        model=CONGEST, max_rounds=max_rounds)
-    result = engine.run()
+             max_rounds: int = 100_000,
+             engine: str = "fast") -> AlgorithmResult:
+    """Run Luby's algorithm in the CONGEST model.
+
+    ``engine`` selects the execution backend: ``"fast"`` steps the
+    :class:`LubyMIS` node program per node on FastEngine; ``"array"``
+    runs the whole-round :class:`ArrayLubyMIS` on ArrayEngine. Both
+    produce bit-identical outputs and reports.
+    """
+    if engine == "array":
+        result = ArrayEngine(graph, ArrayLubyMIS(), source=source,
+                             model=CONGEST, max_rounds=max_rounds).run()
+    elif engine == "fast":
+        result = FastEngine(graph, lambda _v: LubyMIS(), source=source,
+                            model=CONGEST, max_rounds=max_rounds).run()
+    else:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose 'fast' or 'array'")
     # Isolated nodes never hear from anyone and join immediately — make
     # sure outputs are booleans everywhere.
     assert all(isinstance(o, bool) for o in result.outputs.values())

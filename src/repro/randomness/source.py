@@ -291,6 +291,62 @@ class RandomSource(abc.ABC):
             pos += consumed_chunks * width
         return values, pos - offset
 
+    def uniform_int_each(self, nodes: Sequence[object], bound: int,
+                         offsets: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """One uniform draw in ``[0, bound)`` per node, each from its own
+        stream.
+
+        The bulk form of :meth:`uniform_int` for round-structured
+        algorithms (e.g. Luby priorities: every undecided node draws one
+        value per iteration from its own stream at its own cursor).
+        ``offsets[i]`` is node ``i``'s stream cursor. Returns
+        ``(values, bits_used)`` arrays aligned with ``nodes``; values and
+        metering match per-node :meth:`uniform_int` calls exactly, with
+        the validation, width computation, and bit packing hoisted out of
+        the loop (each node still needs its own PRF block reads and
+        ledger entry, so the per-node work is O(1) block operations).
+        """
+        if bound <= 0:
+            raise ConfigurationError(f"bound must be positive, got {bound}")
+        count = len(nodes)
+        values = np.empty(count, dtype=np.int64)
+        used = np.zeros(count, dtype=np.int64)
+        if bound == 1:
+            values.fill(0)
+            return values, used
+        width = (bound - 1).bit_length()
+        # Big-endian fold via packbits: the last packed byte is padded on
+        # the right, so shift the pad back out.
+        pad = (-width) % 8
+        raw_block = self._raw_block
+        consume = self._consume
+        pack = np.packbits
+        for i, node in enumerate(nodes):
+            offset = int(offsets[i])
+            limit = self._stream_limit(node)
+            if limit is not None:
+                # Bounded streams are short; delegate to the exact
+                # per-call path so prefix metering and range errors
+                # surface exactly as the sequential walk would.
+                values[i], used[i] = self.uniform_int(node, bound, offset)
+                continue
+            spent = 0
+            value = bound
+            for _ in range(64):
+                raw = raw_block(node, offset + spent, width)
+                spent += width
+                value = int.from_bytes(pack(raw).tobytes(), "big") >> pad
+                if value < bound:
+                    break
+            consume(node, offset, offset + spent)
+            if value >= bound:
+                raise RandomnessExhausted(
+                    f"rejection sampling for bound {bound} did not converge"
+                )
+            values[i] = value
+            used[i] = spent
+        return values, used
+
     def bernoulli(self, node: object, numer: int, denom: int,
                   offset: int = 0) -> Tuple[int, int]:
         """Sample a Bernoulli(numer/denom) variable from the bit stream.

@@ -1,6 +1,8 @@
 """Simulators for the LOCAL, CONGEST and SLOCAL models (Section 2)."""
 
 from .batch import (
+    ArrayEngine,
+    ArrayProgram,
     CSRGraph,
     FastEngine,
     TrialResult,
@@ -15,11 +17,23 @@ from .graph import DistributedGraph
 from .messages import congest_limit, message_bits
 from .metrics import AlgorithmResult, RunReport
 from .node import NodeContext, NodeProgram
-from .primitives import BFSTree, FloodMin, build_bfs_forest, convergecast_sum
+from .primitives import (
+    ArrayBFSForest,
+    ArrayFloodMin,
+    BFSTree,
+    FloodMin,
+    build_bfs_forest,
+    convergecast_sum,
+    flood_min,
+)
 from .slocal import SLocalSimulator, SLocalView
 
 __all__ = [
     "AlgorithmResult",
+    "ArrayBFSForest",
+    "ArrayEngine",
+    "ArrayFloodMin",
+    "ArrayProgram",
     "BFSTree",
     "CSRGraph",
     "FastEngine",
@@ -32,6 +46,7 @@ __all__ = [
     "FloodMin",
     "build_bfs_forest",
     "convergecast_sum",
+    "flood_min",
     "CONGEST",
     "DistributedGraph",
     "LOCAL",

@@ -1,15 +1,19 @@
-"""Batch simulation: CSR topology, the fast engine, and seed sweeps.
+"""Batch simulation: CSR topology, the fast engines, and seed sweeps.
 
 The scaling layer of the simulator (ROADMAP north star): freeze the
 static network structure once (:class:`CSRGraph`), run node programs on
 it without per-round allocation churn (:class:`FastEngine`, a drop-in
-:class:`~repro.sim.engine.SyncEngine` replacement), and fan whole
+:class:`~repro.sim.engine.SyncEngine` replacement), execute
+data-parallel programs as whole-round numpy passes with no per-node
+Python dispatch at all (:class:`ArrayEngine` running
+:class:`ArrayProgram`\\ s, bit-identical to FastEngine), and fan whole
 (family, size, seed) grids across processes (:func:`run_trials`).
 """
 
-from .csr import CSRGraph
+from .array import ArrayContext, ArrayEngine, ArrayProgram, Sends
+from .csr import CSRGraph, ensure_csr
 from .fast_engine import FastEngine, run_program_fast
-from .tasks import flood_min_trial, luby_mis_trial
+from .tasks import bfs_forest_trial, flood_min_trial, luby_mis_trial
 from .runner import (
     TrialResult,
     TrialSpec,
@@ -20,12 +24,20 @@ from .runner import (
 )
 
 __all__ = [
+    "ArrayContext",
+    "ArrayEngine",
+    "ArrayProgram",
     "CSRGraph",
     "FastEngine",
+    "Sends",
     "TrialResult",
     "TrialSpec",
     "aggregate",
+    "bfs_forest_trial",
+    "ensure_csr",
+    "flood_min_trial",
     "grid",
+    "luby_mis_trial",
     "resolve_workers",
     "run_program_fast",
     "run_trials",

@@ -1,0 +1,362 @@
+"""Array-native round engine: whole-round numpy programs over CSR.
+
+:class:`~repro.sim.batch.fast_engine.FastEngine` removed the reference
+engine's allocation churn, but it still pays one Python ``step()`` call,
+one outbox dict, and one inbox dict per node per round. Many of the
+paper's node programs (Luby MIS, the FloodMin flooding of Lemma 3.2, the
+BFS cluster-growing of Theorem 4.2) are data-parallel across nodes: each
+round is a gather of neighbor state plus a per-node reduction. This
+module executes such programs as *whole-round array operations* over the
+frozen :class:`~repro.sim.batch.csr.CSRGraph` — neighbor aggregation via
+CSR segment reductions, broadcasts as column gathers — eliminating
+per-node Python dispatch entirely.
+
+The contract: an :class:`ArrayProgram`'s ``init``/``step`` operate on
+numpy state arrays for **all** nodes at once and report what was sent
+through the :class:`ArrayContext` accounting helpers. The
+:class:`ArrayEngine` drives the same round structure as FastEngine
+(init, then deliver + step until every node finished) and produces
+**bit-identical outputs and RunReports** — rounds, messages, total/max
+bits, randomness bits — to FastEngine running the equivalent
+:class:`~repro.sim.node.NodeProgram` (see ``tests/test_array_engine.py``
+for the property-style parity sweep).
+
+Unlike node programs, array programs are *trusted* infrastructure code:
+they can see the whole state, so the model's knowledge limits (only use
+``ctx.n`` where a node would, only aggregate over actual neighbors) are
+a discipline the parity tests enforce rather than an API impossibility.
+The engine still enforces the CONGEST bandwidth limit, ``n_override``
+semantics, ``uniform`` denial of ``n``, and ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import BandwidthExceeded, ConfigurationError, ModelViolation
+from ...randomness.source import RandomSource
+from ..engine import CONGEST, LOCAL
+from ..graph import DistributedGraph
+from ..messages import congest_limit, message_bits
+from ..metrics import AlgorithmResult, RunReport
+from .csr import CSRGraph, ensure_csr
+
+#: int64 sentinel for "no value" in min-reductions (identity of minimum).
+INT64_MAX = np.iinfo(np.int64).max
+
+# Framing constants derived from the accounting encoder itself, so the
+# vectorized size formulas below can never drift from message_bits().
+_TUPLE_BASE = message_bits(())
+_ELEMENT_OVERHEAD = message_bits((0,)) - message_bits(0) - _TUPLE_BASE
+
+
+def int_message_bits(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``message_bits`` for arrays of non-negative integers.
+
+    Matches ``max(1, v.bit_length()) + 1`` exactly for every int64 value
+    (an exact shift-count bit length, not a float log — powers of two
+    near 2**53 would round wrong through ``log2``).
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if np.any(v < 0):
+        raise ConfigurationError("int_message_bits requires non-negative values")
+    bl = np.zeros(v.shape, dtype=np.int64)
+    x = v.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = x >= (np.int64(1) << shift)
+        bl[big] += shift
+        x[big] >>= shift
+    bl[x > 0] += 1
+    return np.maximum(bl, 1) + 1
+
+
+def tuple_message_bits(*element_bits) -> Any:
+    """``message_bits`` of a tuple from its elements' sizes (arrays ok)."""
+    total = _TUPLE_BASE
+    for bits in element_bits:
+        total = total + bits + _ELEMENT_OVERHEAD
+    return total
+
+
+def segment_reduce(edge_values: np.ndarray, offsets: np.ndarray,
+                   ufunc: np.ufunc, identity) -> np.ndarray:
+    """Per-node reduction of per-edge values over CSR segments.
+
+    ``edge_values`` is aligned with the CSR ``indices`` array; node
+    ``v``'s reduction covers ``edge_values[offsets[v]:offsets[v+1]]``,
+    and empty segments yield ``identity``. One padded ``reduceat`` call —
+    the pad element is the identity, so the final (to-the-end) segment
+    reduces correctly and empty segments are masked afterwards.
+    """
+    values = np.asarray(edge_values)
+    padded = np.append(values, np.asarray(identity, dtype=values.dtype))
+    reduced = ufunc.reduceat(padded, offsets[:-1])
+    return np.where(offsets[1:] > offsets[:-1], reduced, identity)
+
+
+class Sends:
+    """Accounting snapshot of one round's outgoing messages.
+
+    Built by the :class:`ArrayContext` send helpers at *send* time (when
+    CONGEST limits are enforced, matching FastEngine's resolve step) and
+    folded into the report by the engine at *delivery* time one round
+    later — so messages queued by nodes whose run ends before the next
+    round are dropped uncounted, exactly like the reference engines.
+    """
+
+    __slots__ = ("messages", "total_bits", "max_message_bits")
+
+    def __init__(self, messages: int = 0, total_bits: int = 0,
+                 max_message_bits: int = 0):
+        self.messages = messages
+        self.total_bits = total_bits
+        self.max_message_bits = max_message_bits
+
+
+class ArrayContext:
+    """Whole-network state the engine shares with an array program.
+
+    The per-node :class:`~repro.sim.node.NodeContext` surface, batched:
+    UIDs and degrees as arrays, the claimed network size (``n``, denied
+    under ``uniform``), cursor-metered randomness drawn per node from the
+    same streams node programs use, plus the two things only an engine
+    may do — account sends and finish nodes.
+    """
+
+    def __init__(self, csr: CSRGraph, claimed_n: int,
+                 source: Optional[RandomSource], model: str, bandwidth: int,
+                 uniform: bool):
+        self.csr = csr
+        self.size = csr.n
+        self.offsets = csr.offsets
+        self.indices = csr.indices
+        self.degrees = csr.degrees
+        self.uids = np.array(csr.uids, dtype=np.int64)
+        #: message_bits of each node's UID, precomputed once.
+        self.uid_message_bits = int_message_bits(self.uids)
+        #: per-edge owner node: indices[e] belongs to segments[e]'s list.
+        self.segments = np.repeat(np.arange(csr.n, dtype=np.int64),
+                                  csr.degrees)
+        self.model = model
+        self.bandwidth = bandwidth
+        self._congest = model == CONGEST
+        self._claimed_n = claimed_n
+        self._uniform = uniform
+        self._source = source
+        self._cursors = np.zeros(csr.n, dtype=np.int64)
+        self._finished = np.zeros(csr.n, dtype=bool)
+        self._outputs: List[Any] = [None] * csr.n
+
+    # ------------------------------------------------------------------
+    # Knowledge of n (mirrors NodeContext)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """The claimed network size; uniform algorithms may not read it."""
+        if self._uniform:
+            raise ModelViolation("uniform algorithm may not read n")
+        return self._claimed_n
+
+    # ------------------------------------------------------------------
+    # Neighbor aggregation (CSR segment reductions / column gathers)
+    # ------------------------------------------------------------------
+    def gather(self, node_values: np.ndarray) -> np.ndarray:
+        """Per-edge view of per-node values: each node's broadcast as a
+        column gather along the CSR indices."""
+        return np.asarray(node_values)[self.indices]
+
+    def neighbor_min(self, edge_values: np.ndarray,
+                     empty=INT64_MAX) -> np.ndarray:
+        """Per-node min over its incident edge values (``empty`` if none)."""
+        return segment_reduce(edge_values, self.offsets, np.minimum, empty)
+
+    def neighbor_max(self, edge_values: np.ndarray, empty=-1) -> np.ndarray:
+        """Per-node max over its incident edge values (``empty`` if none)."""
+        return segment_reduce(edge_values, self.offsets, np.maximum, empty)
+
+    def neighbor_sum(self, edge_values: np.ndarray) -> np.ndarray:
+        """Per-node sum over its incident edge values (0 if none)."""
+        return segment_reduce(np.asarray(edge_values, dtype=np.int64),
+                              self.offsets, np.add, 0)
+
+    # ------------------------------------------------------------------
+    # Randomness (cursor-based, same streams as NodeContext)
+    # ------------------------------------------------------------------
+    def rand_uniform_each(self, nodes: np.ndarray, bound: int) -> np.ndarray:
+        """One fresh uniform draw in ``[0, bound)`` per listed node.
+
+        Each node draws from its own stream at its own cursor via the
+        block-mode bulk sampler, consuming exactly the bits that
+        per-node ``NodeContext.rand_uniform`` calls would.
+        """
+        if self._source is None:
+            raise ModelViolation(
+                "array program requested randomness but the run is "
+                "deterministic")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        # Stream keys must be Python ints: NodeContext passes ctx.v, and
+        # repr(np.int64(5)) != repr(5) would derive different streams.
+        values, used = self._source.uniform_int_each(
+            nodes.tolist(), bound, self._cursors[nodes])
+        self._cursors[nodes] += used
+        return values
+
+    # ------------------------------------------------------------------
+    # Send accounting (CONGEST checks at send time, like _resolve)
+    # ------------------------------------------------------------------
+    def broadcast(self, senders: np.ndarray, bits: np.ndarray) -> Sends:
+        """Account a broadcast: each sender fans one ``bits[i]``-sized
+        payload to its whole neighborhood (degree-0 senders send nothing)."""
+        senders = np.asarray(senders, dtype=np.int64)
+        bits = np.broadcast_to(np.asarray(bits, dtype=np.int64), senders.shape)
+        fanout = self.degrees[senders]
+        return self._account(senders, fanout, bits)
+
+    def fanout(self, senders: np.ndarray, counts: np.ndarray,
+               bits: np.ndarray) -> Sends:
+        """Account a subset send: sender ``i`` delivers the same
+        ``bits[i]``-sized payload to ``counts[i]`` of its neighbors."""
+        senders = np.asarray(senders, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        bits = np.broadcast_to(np.asarray(bits, dtype=np.int64), senders.shape)
+        return self._account(senders, counts, bits)
+
+    def _account(self, senders: np.ndarray, fanout: np.ndarray,
+                 bits: np.ndarray) -> Sends:
+        live = fanout > 0
+        if self._congest:
+            bad = live & (bits > self.bandwidth)
+            if bad.any():
+                i = int(np.argmax(bad))
+                v = int(senders[i])
+                target = int(self.indices[self.offsets[v]])
+                raise BandwidthExceeded(
+                    f"node {v} -> {target}: message of {int(bits[i])} bits "
+                    f"exceeds CONGEST limit of {self.bandwidth} bits")
+        if not live.any():
+            return Sends()
+        return Sends(int(fanout.sum()),
+                     int((fanout * bits).sum()),
+                     int(bits[live].max()))
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def finish(self, nodes: np.ndarray, outputs: Sequence[Any]) -> None:
+        """Terminate the listed nodes with their local outputs.
+
+        ``outputs`` is aligned with ``nodes``; numpy arrays are converted
+        to Python scalars so the final outputs dict is bit-identical to
+        what node programs produce.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        self._finished[nodes] = True
+        if isinstance(outputs, np.ndarray):
+            outputs = outputs.tolist()
+        store = self._outputs
+        for v, out in zip(nodes.tolist(), outputs):
+            store[v] = out
+
+    def all_finished(self) -> bool:
+        """Whether every node has terminated."""
+        return bool(self._finished.all())
+
+
+class ArrayProgram:
+    """Base class for whole-round array programs.
+
+    Subclasses override :meth:`init` (round 0: allocate state arrays,
+    return the first round's :class:`Sends`) and :meth:`step` (one
+    synchronous round for all nodes at once: aggregate what the previous
+    round's senders broadcast — their state arrays are still intact —
+    update state, report this round's sends). Return ``None`` when
+    nothing was sent.
+    """
+
+    def init(self, ctx: ArrayContext) -> Optional[Sends]:
+        """Round-0 setup; returns the sends delivered in round 1."""
+        return None
+
+    def step(self, ctx: ArrayContext, round_index: int) -> Optional[Sends]:
+        """One whole-network round; returns the sends for the next round."""
+        raise NotImplementedError
+
+
+class ArrayEngine:
+    """Executes an :class:`ArrayProgram`, one array pass per round.
+
+    Accepts the same parameters as FastEngine (graph, randomness source,
+    LOCAL/CONGEST model, ``n_override``, ``bandwidth_bits``,
+    ``max_rounds``, ``uniform``, optional pre-built ``csr``) but takes
+    one whole-network program instead of a per-node factory.
+    """
+
+    def __init__(self, graph: DistributedGraph, program: ArrayProgram,
+                 source: Optional[RandomSource] = None,
+                 model: str = LOCAL,
+                 n_override: Optional[int] = None,
+                 bandwidth_bits: Optional[int] = None,
+                 max_rounds: int = 100_000,
+                 uniform: bool = False,
+                 csr: Optional[CSRGraph] = None):
+        if model not in (LOCAL, CONGEST):
+            raise ConfigurationError(f"unknown model {model!r}")
+        csr = ensure_csr(graph, csr)
+        if n_override is not None and n_override < csr.n:
+            raise ConfigurationError(
+                f"n_override ({n_override}) must be >= actual n ({csr.n}); "
+                f"lying about n only inflates the network (Thm 4.3)"
+            )
+        limit = 1 << 62
+        if any(u < 0 or u >= limit for u in csr.uids):
+            raise ConfigurationError(
+                "ArrayEngine requires non-negative machine-word UIDs "
+                "(< 2**62); run FastEngine for wider identifiers")
+        self.graph = graph
+        self.csr = csr
+        self.model = model
+        self.source = source
+        self.program = program
+        self.claimed_n = n_override if n_override is not None else csr.n
+        if bandwidth_bits is not None:
+            self.bandwidth = bandwidth_bits
+        else:
+            self.bandwidth = congest_limit(self.claimed_n)
+        self.max_rounds = max_rounds
+        self._ctx = ArrayContext(csr, self.claimed_n, source, model,
+                                 self.bandwidth, uniform)
+
+    def run(self) -> AlgorithmResult:
+        """Execute until every node finished; return outputs and report."""
+        report = RunReport(model=self.model)
+        before_bits = self.source.bits_consumed if self.source else 0
+        ctx = self._ctx
+
+        pending = self.program.init(ctx)
+        messages = 0
+        total_bits = 0
+        max_bits = 0
+        round_index = 0
+        while not ctx.all_finished():
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise ModelViolation(
+                    f"algorithm exceeded max_rounds={self.max_rounds}"
+                )
+            if pending is not None:
+                messages += pending.messages
+                total_bits += pending.total_bits
+                if pending.max_message_bits > max_bits:
+                    max_bits = pending.max_message_bits
+            pending = self.program.step(ctx, round_index)
+
+        report.rounds = round_index
+        report.messages = messages
+        report.total_bits = total_bits
+        report.max_message_bits = max_bits
+        if self.source is not None:
+            report.randomness_bits = self.source.bits_consumed - before_bits
+        outputs = {v: ctx._outputs[v] for v in range(ctx.size)}
+        return AlgorithmResult(outputs=outputs, report=report)

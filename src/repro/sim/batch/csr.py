@@ -96,6 +96,32 @@ def nx_to_csr(graph) -> Tuple[np.ndarray, np.ndarray, List]:
     return offsets, indices, nodes
 
 
+def ensure_csr(graph: DistributedGraph,
+               csr: Optional["CSRGraph"]) -> "CSRGraph":
+    """Build a :class:`CSRGraph` for ``graph``, or validate a cached one.
+
+    Shared by the batch engines: with ``csr=None`` the topology is frozen
+    fresh; otherwise sanity checks (O(n), not a full O(m) topology
+    compare — that would cost as much as rebuilding) verify node count,
+    UID assignment, and edge count, which catches the realistic misuse of
+    caching one CSRGraph across a sweep that rebuilds the graph per seed.
+    """
+    if csr is None:
+        return CSRGraph.from_graph(graph)
+    if csr.n != graph.n:
+        raise ConfigurationError(
+            f"csr has {csr.n} nodes but graph has {graph.n}")
+    if csr.uids != tuple(graph.uid(v) for v in range(graph.n)):
+        raise ConfigurationError(
+            "csr UID assignment does not match the graph; was the "
+            "CSRGraph built from a different DistributedGraph?")
+    if csr.m != graph.nx.number_of_edges():
+        raise ConfigurationError(
+            f"csr has {csr.m} edges but graph has "
+            f"{graph.nx.number_of_edges()}")
+    return csr
+
+
 class CSRGraph:
     """Array-backed, immutable adjacency snapshot of a network.
 

@@ -31,7 +31,7 @@ from ..graph import DistributedGraph
 from ..messages import congest_limit, message_bits
 from ..metrics import AlgorithmResult, RunReport
 from ..node import NodeContext, NodeProgram
-from .csr import CSRGraph
+from .csr import CSRGraph, ensure_csr
 
 #: sentinel marking a resolved pure-broadcast outbox.
 _BCAST = object()
@@ -56,25 +56,7 @@ class FastEngine:
                  csr: Optional[CSRGraph] = None):
         if model not in (LOCAL, CONGEST):
             raise ConfigurationError(f"unknown model {model!r}")
-        if csr is None:
-            csr = CSRGraph.from_graph(graph)
-        else:
-            # Sanity checks (O(n), not a full O(m) topology compare —
-            # that would cost as much as rebuilding): node count, UID
-            # assignment, and edge count must all match, which catches
-            # the realistic misuse of caching one CSRGraph across a
-            # sweep that rebuilds the graph per seed.
-            if csr.n != graph.n:
-                raise ConfigurationError(
-                    f"csr has {csr.n} nodes but graph has {graph.n}")
-            if csr.uids != tuple(graph.uid(v) for v in range(graph.n)):
-                raise ConfigurationError(
-                    "csr UID assignment does not match the graph; was the "
-                    "CSRGraph built from a different DistributedGraph?")
-            if csr.m != graph.nx.number_of_edges():
-                raise ConfigurationError(
-                    f"csr has {csr.m} edges but graph has "
-                    f"{graph.nx.number_of_edges()}")
+        csr = ensure_csr(graph, csr)
         if n_override is not None and n_override < csr.n:
             raise ConfigurationError(
                 f"n_override ({n_override}) must be >= actual n ({csr.n}); "
@@ -112,6 +94,10 @@ class FastEngine:
         lives only for this call, while the outbox still references
         every payload — no aliasing of equal-but-differently-sized
         values (e.g. ``True`` vs ``1``) is possible.
+
+        Mixed outboxes (a BROADCAST key plus explicit targets) resolve
+        with the explicit payload winning for its target regardless of
+        dict insertion order, matching :class:`SyncEngine`.
         """
         if not outbox:
             return None
@@ -133,17 +119,24 @@ class FastEngine:
                 return None
             return (_BCAST, payload, bits)
         neighbors = self.csr.neighbor_sets[v]
-        resolved: Dict[int, Any] = {}
+        explicit: Dict[int, Any] = {}
+        broadcast_payload: Any = None
+        has_broadcast = False
         for target, payload in outbox.items():
             if target == NodeProgram.BROADCAST:
-                for u in neighbors:
-                    resolved[u] = payload
+                broadcast_payload = payload
+                has_broadcast = True
                 continue
             if target not in neighbors:
                 raise ModelViolation(
                     f"node {v} tried to send to non-neighbor {target!r}"
                 )
-            resolved[target] = payload
+            explicit[target] = payload
+        resolved: Dict[int, Any] = {}
+        if has_broadcast:
+            for u in neighbors:
+                resolved[u] = broadcast_payload
+        resolved.update(explicit)
         if not resolved:
             return None
         sizes: Dict[int, int] = {}

@@ -84,7 +84,13 @@ def grid(families: Iterable[str], sizes: Iterable[int],
 def resolve_workers(workers: Optional[int]) -> int:
     """None -> $REPRO_WORKERS or 1; always at least 1."""
     if workers is None:
-        workers = int(os.environ.get(WORKERS_ENV, "1"))
+        raw = os.environ.get(WORKERS_ENV, "1")
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"${WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from exc
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     return workers
@@ -115,8 +121,10 @@ def aggregate(results: Iterable[TrialResult],
     """Group results and summarize: success rate plus per-metric min/mean/max.
 
     ``by`` names :class:`TrialSpec` fields to group on. Non-numeric data
-    values are skipped (only counted metrics are numeric scalars);
-    booleans count as numbers, matching Python semantics.
+    values are skipped (only counted metrics are numeric scalars), and so
+    are booleans: they are verdicts, not metrics — averaging them hides
+    failures that ``ok``/``success`` already report, so a bool-valued
+    data entry never produces ``(min)/(mean)/(max)`` columns.
     """
     groups: Dict[Tuple, List[TrialResult]] = {}
     order: List[Tuple] = []

@@ -7,16 +7,29 @@ the conventional way: ``family``/``n``/``seed`` name a
 all algorithm randomness derives from ``spec.seed`` — so sweeps are
 reproducible and independent of worker count. They double as templates
 for writing new tasks.
+
+Every task takes an ``engine`` knob (``"fast"``, the default, or
+``"array"``); the two backends are bit-identical in outputs and
+reports, so sweeps can switch freely for speed.
 """
 
 from __future__ import annotations
 
+from ...errors import ConfigurationError
 from ...graphs import assign, make
 from ...randomness.independent import IndependentSource
 from ..engine import CONGEST
-from ..primitives import FloodMin
-from .fast_engine import FastEngine
 from .runner import TrialResult, TrialSpec
+
+_ENGINES = ("fast", "array")
+
+
+def _engine_of(spec: TrialSpec) -> str:
+    engine = spec.param("engine", "fast")
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {_ENGINES}")
+    return engine
 
 
 def _report_data(result) -> dict:
@@ -33,20 +46,23 @@ def _report_data(result) -> dict:
 def luby_mis_trial(spec: TrialSpec) -> TrialResult:
     """Luby's MIS in CONGEST; ``ok`` is MIS validity.
 
-    Knobs: ``model`` (default CONGEST), ``max_rounds``.
+    Knobs: ``engine`` ("fast"/"array"), ``max_rounds``.
     """
     # Deferred: repro.core pulls in repro.checkers, which imports back
     # into repro.sim — a module-level import here would close the cycle.
-    from ...core.mis import LubyMIS, is_valid_mis
+    from ...core.mis import is_valid_mis, luby_mis
 
+    model = spec.param("model", CONGEST)
+    if model != CONGEST:
+        # The task used to accept a model knob; reject loudly rather
+        # than silently running CONGEST on a spec that asks otherwise.
+        raise ConfigurationError(
+            f"luby_mis_trial runs in CONGEST, got model={model!r}")
     g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
                seed=spec.seed)
-    engine = FastEngine(
-        g, lambda _v: LubyMIS(),
-        source=IndependentSource(seed=spec.seed),
-        model=spec.param("model", CONGEST),
-        max_rounds=spec.param("max_rounds", 100_000))
-    result = engine.run()
+    result = luby_mis(g, IndependentSource(seed=spec.seed),
+                      max_rounds=spec.param("max_rounds", 100_000),
+                      engine=_engine_of(spec))
     return TrialResult(spec, is_valid_mis(g, result.outputs),
                        _report_data(result))
 
@@ -55,14 +71,33 @@ def flood_min_trial(spec: TrialSpec) -> TrialResult:
     """Deterministic FloodMin; ``ok`` means every node found the global min
     (only guaranteed once ``radius`` reaches the graph diameter).
 
-    Knobs: ``radius`` (default 8), ``model`` (default CONGEST).
+    Knobs: ``radius`` (default 8), ``model`` (default CONGEST),
+    ``engine`` ("fast"/"array").
     """
+    from ..primitives import flood_min
+
     g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
                seed=spec.seed)
-    radius = spec.param("radius", 8)
-    engine = FastEngine(g, lambda _v: FloodMin(radius),
-                        model=spec.param("model", CONGEST))
-    result = engine.run()
+    result = flood_min(g, spec.param("radius", 8),
+                       model=spec.param("model", CONGEST),
+                       engine=_engine_of(spec))
     global_min = min(g.uid(v) for v in g.nodes())
     ok = all(out == global_min for out in result.outputs.values())
+    return TrialResult(spec, ok, _report_data(result))
+
+
+def bfs_forest_trial(spec: TrialSpec) -> TrialResult:
+    """BFS forest grown from node 0; ``ok`` means every node was claimed
+    (guaranteed on connected graphs once the depth bound covers them).
+
+    Knobs: ``depth_bound`` (default n), ``engine`` ("fast"/"array").
+    """
+    from ..primitives import build_bfs_forest
+
+    g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
+               seed=spec.seed)
+    result = build_bfs_forest(g, {0},
+                              depth_bound=spec.param("depth_bound"),
+                              engine=_engine_of(spec))
+    ok = all(out is not None for out in result.outputs.values())
     return TrialResult(spec, ok, _report_data(result))

@@ -84,21 +84,34 @@ class SyncEngine:
         }
 
     def _validate_outbox(self, v: int, outbox: Dict[Any, Any]) -> Dict[int, Any]:
-        """Resolve broadcast, check addressing and bandwidth."""
+        """Resolve broadcast, check addressing and bandwidth.
+
+        Mixed outboxes (a BROADCAST key plus explicit targets) resolve
+        with the explicit payload winning for its target regardless of
+        dict insertion order: the broadcast fans out first, then the
+        explicit entries overwrite. FastEngine pins the same rule.
+        """
         if not outbox:
             return {}
         neighbors = set(self.graph.neighbors(v))
-        resolved: Dict[int, Any] = {}
+        explicit: Dict[int, Any] = {}
+        broadcast_payload = None
+        has_broadcast = False
         for target, payload in outbox.items():
             if target == NodeProgram.BROADCAST:
-                for u in neighbors:
-                    resolved[u] = payload
+                broadcast_payload = payload
+                has_broadcast = True
                 continue
             if target not in neighbors:
                 raise ModelViolation(
                     f"node {v} tried to send to non-neighbor {target!r}"
                 )
-            resolved[target] = payload
+            explicit[target] = payload
+        resolved: Dict[int, Any] = {}
+        if has_broadcast:
+            for u in neighbors:
+                resolved[u] = broadcast_payload
+        resolved.update(explicit)
         if self.model == CONGEST:
             for target, payload in resolved.items():
                 size = message_bits(payload)

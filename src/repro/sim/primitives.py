@@ -13,13 +13,30 @@ orchestrated pipelines.
   node learns (root uid, parent, depth), ties to the smaller root UID;
 * :func:`convergecast_sum` — upcast an aggregate along a BFS tree to the
   root (depth rounds), demonstrating the Lemma 3.2 bit-gathering cost.
+
+:class:`ArrayFloodMin` and :class:`ArrayBFSForest` are the whole-round
+array-program equivalents for the
+:class:`~repro.sim.batch.array.ArrayEngine` (bit-identical outputs and
+reports); :func:`flood_min` and :func:`build_bfs_forest` select the
+backend via their ``engine`` knob.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
+from .batch.array import (
+    INT64_MAX,
+    ArrayContext,
+    ArrayEngine,
+    ArrayProgram,
+    Sends,
+    int_message_bits,
+    tuple_message_bits,
+)
 from .batch.fast_engine import FastEngine
 from .engine import CONGEST
 from .graph import DistributedGraph
@@ -43,19 +60,50 @@ class FloodMin(NodeProgram):
         return {NodeProgram.BROADCAST: ctx.uid}
 
     def step(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Dict:
-        improved = False
         for uid in inbox.values():
             if uid < ctx.state["best"]:
                 ctx.state["best"] = uid
-                improved = True
         if round_index >= self.radius:
             ctx.finish(ctx.state["best"])
             return {}
-        if improved or round_index == 0:
-            return {NodeProgram.BROADCAST: ctx.state["best"]}
-        # Re-broadcast anyway: neighbors joining late still need it. The
-        # message is O(log n) bits, so this stays CONGEST-legal.
+        # Re-broadcast every round, improved or not: neighbors joining
+        # late still need it. The message is O(log n) bits, so this
+        # stays CONGEST-legal.
         return {NodeProgram.BROADCAST: ctx.state["best"]}
+
+
+class ArrayFloodMin(ArrayProgram):
+    """:class:`FloodMin` as whole-round array operations.
+
+    One segment-min over the CSR edge list per round replaces n inbox
+    scans; engine-parity (outputs and full report) with FloodMin under
+    FastEngine is asserted in ``tests/test_array_engine.py``.
+    """
+
+    def __init__(self, radius: int):
+        if radius < 0:
+            raise ConfigurationError("radius must be >= 0")
+        self.radius = radius
+        self.best: Optional[np.ndarray] = None
+
+    def init(self, ctx: ArrayContext) -> Optional[Sends]:
+        self.best = ctx.uids.copy()
+        everyone = np.arange(ctx.size)
+        if self.radius == 0:
+            ctx.finish(everyone, self.best)
+            return None
+        return ctx.broadcast(everyone, int_message_bits(self.best))
+
+    def step(self, ctx: ArrayContext, round_index: int) -> Optional[Sends]:
+        # What neighbors broadcast last round is their current best: it
+        # only changes below, after this aggregation.
+        nbr_best = ctx.neighbor_min(ctx.gather(self.best))
+        np.minimum(self.best, nbr_best, out=self.best)
+        everyone = np.arange(ctx.size)
+        if round_index >= self.radius:
+            ctx.finish(everyone, self.best)
+            return None
+        return ctx.broadcast(everyone, int_message_bits(self.best))
 
 
 class BFSTree(NodeProgram):
@@ -96,14 +144,109 @@ class BFSTree(NodeProgram):
         return {}
 
 
+class ArrayBFSForest(ArrayProgram):
+    """:class:`BFSTree` as whole-round array operations.
+
+    Claims are (root uid, depth) pairs with the sender index as the
+    final tiebreak, so the per-round adoption is a three-pass
+    lexicographic segment-min over the CSR edge list — exactly the
+    sequential fold BFSTree performs over its inbox (current claim wins
+    ties; among tied offers the smallest sender, which is the first one
+    the reference inbox iteration encounters).
+    """
+
+    def __init__(self, roots, depth_bound: int):
+        if depth_bound < 1:
+            raise ConfigurationError("depth_bound must be >= 1")
+        self.roots = set(roots)
+        self.depth_bound = depth_bound
+
+    def init(self, ctx: ArrayContext) -> Optional[Sends]:
+        n = ctx.size
+        self.root = np.full(n, INT64_MAX, dtype=np.int64)  # MAX = no claim
+        self.depth = np.zeros(n, dtype=np.int64)
+        self.parent = np.full(n, -1, dtype=np.int64)
+        # Same membership test BFSTree runs per node, so exotic root
+        # collections (out-of-range labels) behave identically.
+        r = np.array([v for v in range(n) if v in self.roots], dtype=np.int64)
+        self.sent = np.zeros(n, dtype=bool)
+        if not r.size:
+            return None
+        self.root[r] = ctx.uids[r]
+        self.sent[r] = True
+        return ctx.broadcast(r, tuple_message_bits(
+            ctx.uid_message_bits[r], int_message_bits(self.depth[r])))
+
+    def step(self, ctx: ArrayContext, round_index: int) -> Optional[Sends]:
+        sent_e = self.sent[ctx.indices]
+        if sent_e.any():
+            seg = ctx.segments
+            root_e = np.where(sent_e, self.root[ctx.indices], INT64_MAX)
+            r_min = ctx.neighbor_min(root_e)
+            # Senders always hold a claim, so depth is real where sent.
+            offer_depth_e = np.where(sent_e, self.depth[ctx.indices], 0) + 1
+            tie1 = sent_e & (root_e == r_min[seg])
+            d_min = ctx.neighbor_min(
+                np.where(tie1, offer_depth_e, INT64_MAX))
+            tie2 = tie1 & (offer_depth_e == d_min[seg])
+            s_min = ctx.neighbor_min(
+                np.where(tie2, ctx.indices, INT64_MAX))
+            has_offer = r_min < INT64_MAX
+            improved = has_offer & (
+                (r_min < self.root)
+                | ((r_min == self.root) & (d_min < self.depth)))
+            idx = np.flatnonzero(improved)
+            self.root[idx] = r_min[idx]
+            self.depth[idx] = d_min[idx]
+            self.parent[idx] = s_min[idx]
+            self.sent = improved
+        else:
+            self.sent = np.zeros(ctx.size, dtype=bool)
+        if round_index >= self.depth_bound:
+            roots = self.root.tolist()
+            parents = self.parent.tolist()
+            depths = self.depth.tolist()
+            unclaimed = int(INT64_MAX)
+            outputs = [
+                None if roots[v] == unclaimed else
+                (roots[v], parents[v] if parents[v] >= 0 else None, depths[v])
+                for v in range(ctx.size)
+            ]
+            ctx.finish(np.arange(ctx.size), outputs)
+            return None
+        senders = np.flatnonzero(self.sent)
+        if not senders.size:
+            return None
+        return ctx.broadcast(senders, tuple_message_bits(
+            int_message_bits(self.root[senders]),
+            int_message_bits(self.depth[senders])))
+
+
+def flood_min(graph: DistributedGraph, radius: int, model: str = CONGEST,
+              engine: str = "fast") -> AlgorithmResult:
+    """Run FloodMin on the selected engine (``"fast"`` or ``"array"``)."""
+    if engine == "array":
+        return ArrayEngine(graph, ArrayFloodMin(radius), model=model).run()
+    if engine == "fast":
+        return FastEngine(graph, lambda _v: FloodMin(radius),
+                          model=model).run()
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; choose 'fast' or 'array'")
+
+
 def build_bfs_forest(graph: DistributedGraph, roots,
-                     depth_bound: Optional[int] = None) -> AlgorithmResult:
-    """Run :class:`BFSTree` on the engine (CONGEST)."""
+                     depth_bound: Optional[int] = None,
+                     engine: str = "fast") -> AlgorithmResult:
+    """Grow the BFS forest on the selected engine (CONGEST)."""
     bound = depth_bound if depth_bound is not None else graph.n
-    engine = FastEngine(
-        graph, lambda _v: BFSTree(roots, bound), model=CONGEST,
-        max_rounds=bound + 2)
-    return engine.run()
+    if engine == "array":
+        return ArrayEngine(graph, ArrayBFSForest(roots, bound),
+                           model=CONGEST, max_rounds=bound + 2).run()
+    if engine == "fast":
+        return FastEngine(graph, lambda _v: BFSTree(roots, bound),
+                          model=CONGEST, max_rounds=bound + 2).run()
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; choose 'fast' or 'array'")
 
 
 def convergecast_sum(graph: DistributedGraph,

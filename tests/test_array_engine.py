@@ -1,0 +1,307 @@
+"""ArrayEngine must be observationally identical to FastEngine.
+
+The array engine replaces per-node Python dispatch with whole-round
+numpy passes, and it is only allowed to be *faster*: for every program
+pair (node program on FastEngine, array program on ArrayEngine), graph
+family, size, seed, and model, the outputs and the full cost report —
+rounds, messages, total/max bits, randomness bits — must match bit for
+bit. The property-style sweep below runs the cross product
+(family x size x seed) for Luby MIS, FloodMin, and BFS-forest, then the
+engine-semantics cases (lying about n, uniformity, bandwidth, CSR
+reuse) and the bulk sampler the array programs draw from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from helpers import FAMILY_NAMES, family_graphs
+from repro.core.mis import ArrayLubyMIS, LubyMIS, is_valid_mis, luby_mis
+from repro.errors import (
+    BandwidthExceeded,
+    ConfigurationError,
+    ModelViolation,
+)
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+from repro.sim import CONGEST, LOCAL, ArrayEngine, FastEngine
+from repro.sim.batch import CSRGraph
+from repro.sim.batch.array import (
+    ArrayProgram,
+    int_message_bits,
+    segment_reduce,
+    tuple_message_bits,
+)
+from repro.sim.messages import message_bits
+from repro.sim.primitives import (
+    ArrayBFSForest,
+    ArrayFloodMin,
+    BFSTree,
+    FloodMin,
+    build_bfs_forest,
+    flood_min,
+)
+
+#: The parity grid: every named family, two sizes, five seeds (the
+#: acceptance bar asks for >= 3 families x >= 5 seeds).
+PARITY_SIZES = (13, 32)
+PARITY_SEEDS = tuple(range(5))
+
+
+def assert_identical(ref, arr):
+    assert arr.outputs == ref.outputs
+    assert dataclasses.asdict(arr.report) == dataclasses.asdict(ref.report)
+
+
+def parity_case(family, n, seed, node_factory, array_program, model,
+                source_seed=None, **kwargs):
+    g = assign(make(family, n, seed=seed), "random", seed=seed)
+    src1 = IndependentSource(seed=source_seed) if source_seed is not None else None
+    src2 = IndependentSource(seed=source_seed) if source_seed is not None else None
+    ref = FastEngine(g, node_factory, source=src1, model=model, **kwargs).run()
+    arr = ArrayEngine(g, array_program, source=src2, model=model, **kwargs).run()
+    assert_identical(ref, arr)
+    return g, arr
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+class TestParitySweep:
+    """outputs and RunReports bit-identical across (family x size x seed)."""
+
+    def test_luby_mis(self, family):
+        for n in PARITY_SIZES:
+            for seed in PARITY_SEEDS:
+                g, arr = parity_case(
+                    family, n, seed, lambda _v: LubyMIS(), ArrayLubyMIS(),
+                    CONGEST, source_seed=100 + seed)
+                assert is_valid_mis(g, arr.outputs)
+                assert all(isinstance(o, bool) for o in arr.outputs.values())
+
+    def test_flood_min(self, family):
+        for n in PARITY_SIZES:
+            for seed in PARITY_SEEDS:
+                radius = 1 + seed  # sweep radii along with seeds
+                parity_case(family, n, seed, lambda _v: FloodMin(radius),
+                            ArrayFloodMin(radius), CONGEST)
+
+    def test_bfs_forest(self, family):
+        for n in PARITY_SIZES:
+            for seed in PARITY_SEEDS:
+                roots = {0, seed + 1}
+                parity_case(family, n, seed, lambda _v: BFSTree(roots, n),
+                            ArrayBFSForest(roots, n), CONGEST,
+                            max_rounds=n + 2)
+
+
+class TestParitySemantics:
+    def test_local_model(self, gnp60):
+        ref = FastEngine(gnp60, lambda _v: FloodMin(4), model=LOCAL).run()
+        arr = ArrayEngine(gnp60, ArrayFloodMin(4), model=LOCAL).run()
+        assert_identical(ref, arr)
+
+    def test_radius_zero_finishes_in_init(self, cycle12):
+        ref = FastEngine(cycle12, lambda _v: FloodMin(0)).run()
+        arr = ArrayEngine(cycle12, ArrayFloodMin(0)).run()
+        assert_identical(ref, arr)
+        assert arr.report.rounds == 0 and arr.report.messages == 0
+
+    def test_empty_root_set(self, path9):
+        ref = FastEngine(path9, lambda _v: BFSTree(set(), 3),
+                         model=CONGEST, max_rounds=5).run()
+        arr = ArrayEngine(path9, ArrayBFSForest(set(), 3),
+                          model=CONGEST, max_rounds=5).run()
+        assert_identical(ref, arr)
+        assert all(out is None for out in arr.outputs.values())
+
+    def test_lie_about_n(self, gnp60):
+        ref = FastEngine(gnp60, lambda _v: LubyMIS(),
+                         source=IndependentSource(seed=5), model=CONGEST,
+                         n_override=4 * gnp60.n).run()
+        arr = ArrayEngine(gnp60, ArrayLubyMIS(),
+                          source=IndependentSource(seed=5), model=CONGEST,
+                          n_override=4 * gnp60.n).run()
+        assert_identical(ref, arr)
+
+    def test_n_override_below_n_rejected(self, gnp60):
+        with pytest.raises(ConfigurationError):
+            ArrayEngine(gnp60, ArrayFloodMin(2), n_override=gnp60.n - 1)
+
+    def test_uniform_denies_n(self, path9):
+        class ReadN(ArrayProgram):
+            def init(self, ctx):
+                ctx.n  # must raise
+                ctx.finish(np.arange(ctx.size), [None] * ctx.size)
+
+        with pytest.raises(ModelViolation):
+            ArrayEngine(path9, ReadN(), uniform=True).run()
+
+    def test_randomness_denied_when_deterministic(self, path9):
+        class Draw(ArrayProgram):
+            def init(self, ctx):
+                ctx.rand_uniform_each(np.arange(ctx.size), 4)
+
+        with pytest.raises(ModelViolation):
+            ArrayEngine(path9, Draw()).run()
+
+    def test_bandwidth_enforced(self, path9):
+        class BigBroadcast(ArrayProgram):
+            def init(self, ctx):
+                everyone = np.arange(ctx.size)
+                return ctx.broadcast(everyone,
+                                     np.full(ctx.size, 10_000, np.int64))
+
+        with pytest.raises(BandwidthExceeded):
+            ArrayEngine(path9, BigBroadcast(), model=CONGEST).run()
+
+    def test_max_rounds_guard(self, path9):
+        class Forever(ArrayProgram):
+            def init(self, ctx):
+                return None
+
+            def step(self, ctx, round_index):
+                return None
+
+        with pytest.raises(ModelViolation):
+            ArrayEngine(path9, Forever(), max_rounds=10).run()
+
+    def test_reusable_csr_across_runs(self, gnp60):
+        csr = CSRGraph.from_graph(gnp60)
+        first = ArrayEngine(gnp60, ArrayFloodMin(4), csr=csr).run()
+        second = ArrayEngine(gnp60, ArrayFloodMin(4), csr=csr).run()
+        assert first.outputs == second.outputs
+        ref = FastEngine(gnp60, lambda _v: FloodMin(4)).run()
+        assert_identical(ref, second)
+
+    def test_csr_from_different_graph_rejected(self):
+        g1 = assign(make("gnp-sparse", 30, seed=1), "random", seed=1)
+        g2 = assign(make("gnp-sparse", 30, seed=2), "random", seed=2)
+        with pytest.raises(ConfigurationError):
+            ArrayEngine(g1, ArrayFloodMin(1), csr=CSRGraph.from_graph(g2))
+
+
+class TestEngineKnobs:
+    """The engine= selector on the algorithm entry points and tasks."""
+
+    def test_luby_mis_knob(self, gnp60):
+        fast = luby_mis(gnp60, IndependentSource(seed=3), engine="fast")
+        arr = luby_mis(gnp60, IndependentSource(seed=3), engine="array")
+        assert_identical(fast, arr)
+        with pytest.raises(ConfigurationError):
+            luby_mis(gnp60, IndependentSource(seed=3), engine="warp")
+
+    def test_flood_min_knob(self, cycle12):
+        fast = flood_min(cycle12, 6, engine="fast")
+        arr = flood_min(cycle12, 6, engine="array")
+        assert_identical(fast, arr)
+        with pytest.raises(ConfigurationError):
+            flood_min(cycle12, 6, engine="warp")
+
+    def test_bfs_forest_knob(self, gnp60):
+        fast = build_bfs_forest(gnp60, {0, 7}, engine="fast")
+        arr = build_bfs_forest(gnp60, {0, 7}, engine="array")
+        assert_identical(fast, arr)
+        with pytest.raises(ConfigurationError):
+            build_bfs_forest(gnp60, {0}, engine="warp")
+
+    def test_tasks_engine_param(self):
+        from repro.sim.batch import (
+            bfs_forest_trial,
+            flood_min_trial,
+            grid,
+            luby_mis_trial,
+            run_trials,
+        )
+
+        for task in (luby_mis_trial, flood_min_trial, bfs_forest_trial):
+            fast = run_trials(task, grid(["gnp-sparse", "tree"], [24],
+                                         range(3), engine="fast"))
+            arr = run_trials(task, grid(["gnp-sparse", "tree"], [24],
+                                        range(3), engine="array"))
+            assert [(r.ok, r.data) for r in fast] == \
+                   [(r.ok, r.data) for r in arr]
+            with pytest.raises(ConfigurationError):
+                task(grid(["cycle"], [12], [0], engine="warp")[0])
+
+    def test_luby_trial_rejects_non_congest_model(self):
+        from repro.sim import LOCAL
+        from repro.sim.batch import grid, luby_mis_trial
+
+        with pytest.raises(ConfigurationError, match="CONGEST"):
+            luby_mis_trial(grid(["cycle"], [12], [0], model=LOCAL)[0])
+
+
+class TestArrayHelpers:
+    def test_int_message_bits_matches_encoder(self):
+        values = [0, 1, 2, 3, 7, 8, 255, 256, 2**31 - 1, 2**31, 2**52 + 1]
+        expected = [message_bits(v) for v in values]
+        assert int_message_bits(np.array(values)).tolist() == expected
+        with pytest.raises(ConfigurationError):
+            int_message_bits(np.array([-1]))
+
+    def test_tuple_message_bits_matches_encoder(self):
+        assert tuple_message_bits(message_bits(5), message_bits(0)) == \
+            message_bits((5, 0))
+        assert tuple_message_bits(
+            message_bits("p"), message_bits(77), message_bits(12)
+        ) == message_bits(("p", 77, 12))
+
+    def test_segment_reduce_empty_and_trailing_segments(self):
+        # Segments: [5, 3], [], [2], [] — incl. empty trailing segment.
+        offsets = np.array([0, 2, 2, 3, 3])
+        values = np.array([5, 3, 2])
+        assert segment_reduce(values, offsets, np.minimum,
+                              np.iinfo(np.int64).max).tolist() == \
+            [3, np.iinfo(np.int64).max, 2, np.iinfo(np.int64).max]
+        assert segment_reduce(values, offsets, np.add, 0).tolist() == \
+            [8, 0, 2, 0]
+
+    def test_wide_uids_rejected(self):
+        from repro.sim.graph import DistributedGraph
+        import networkx as nx
+
+        g = DistributedGraph(nx.path_graph(3), uids=[1, 2, 2**62])
+        with pytest.raises(ConfigurationError):
+            ArrayEngine(g, ArrayFloodMin(1))
+        # The widest machine-word UID the contract allows still works.
+        g = DistributedGraph(nx.path_graph(3), uids=[1, 2, 2**62 - 1])
+        ref = FastEngine(g, lambda _v: FloodMin(2)).run()
+        arr = ArrayEngine(g, ArrayFloodMin(2)).run()
+        assert_identical(ref, arr)
+
+
+class TestUniformIntEach:
+    """The bulk per-node sampler is sequential-equivalent."""
+
+    def test_matches_uniform_int(self):
+        for bound in (1, 2, 3, 10, 1000, 2**20 + 7):
+            ref = IndependentSource(seed=42)
+            bulk = IndependentSource(seed=42)
+            nodes = list(range(8))
+            offsets = [3 * v for v in nodes]
+            expected = [ref.uniform_int(v, bound, offsets[i])
+                        for i, v in enumerate(nodes)]
+            values, used = bulk.uniform_int_each(nodes, bound,
+                                                 np.array(offsets))
+            assert values.tolist() == [v for v, _ in expected]
+            assert used.tolist() == [u for _, u in expected]
+            assert bulk.bits_consumed == ref.bits_consumed
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ConfigurationError):
+            IndependentSource(seed=1).uniform_int_each([0], 0, [0])
+
+    def test_bounded_stream_fallback(self):
+        from repro.randomness import KWiseSource
+
+        bound = 13
+        ref = KWiseSource(k=4, num_nodes=8, bits_per_node=64, seed=9)
+        bulk = KWiseSource(k=4, num_nodes=8, bits_per_node=64, seed=9)
+        nodes = list(range(4))
+        expected = [ref.uniform_int(v, bound, 0) for v in nodes]
+        values, used = bulk.uniform_int_each(nodes, bound, [0] * 4)
+        assert values.tolist() == [v for v, _ in expected]
+        assert used.tolist() == [u for _, u in expected]
+        assert bulk.bits_consumed == ref.bits_consumed

@@ -73,6 +73,12 @@ class TestRunTrials:
         assert resolve_workers(None) == 3
         assert resolve_workers(2) == 2
 
+    def test_non_integer_env_is_a_configuration_error(self, monkeypatch):
+        """$REPRO_WORKERS=junk must not leak a bare ValueError."""
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError, match="many"):
+            resolve_workers(None)
+
     def test_empty_grid(self):
         assert run_trials(flood_min_trial, [], workers=4) == []
 
@@ -97,3 +103,15 @@ class TestAggregate:
         rows = aggregate(results, by=("family", "n", "seed"))
         assert len(rows) == 2  # grouped by seed, k collapses
         assert rows[0]["x(mean)"] == 0 and rows[1]["x(mean)"] == 1
+
+    def test_bool_metrics_are_not_aggregated(self):
+        """Bools are verdicts, not metrics: no (min)/(mean)/(max) columns."""
+        results = [
+            TrialResult(TrialSpec.of("a", 8, s), True,
+                        {"valid": s % 2 == 0, "rounds": 3 + s})
+            for s in range(4)
+        ]
+        (row,) = aggregate(results)
+        assert row["rounds(mean)"] == 4.5  # numeric metrics still summarized
+        for suffix in ("min", "mean", "max"):
+            assert f"valid({suffix})" not in row

@@ -119,6 +119,36 @@ class TestEquivalenceSemantics:
 
         assert_identical(*run_both(cycle12, lambda _v: MixedSend(), CONGEST))
 
+    @pytest.mark.parametrize("broadcast_first", [True, False])
+    def test_mixed_outbox_explicit_wins_either_key_order(
+            self, cycle12, broadcast_first):
+        """Explicit targets override the broadcast payload regardless of
+        dict insertion order — the semantics are pinned, not an accident
+        of iteration order, and identical in both engines."""
+
+        class MixedSend(NodeProgram):
+            def init(self, ctx):
+                if broadcast_first:
+                    return {NodeProgram.BROADCAST: 1, ctx.neighbors[0]: 2}
+                return {ctx.neighbors[0]: 2, NodeProgram.BROADCAST: 1}
+
+            def step(self, ctx, round_index, inbox):
+                ctx.finish(sorted(inbox.items()))
+                return {}
+
+        ref, fast = run_both(cycle12, lambda _v: MixedSend(), CONGEST)
+        assert_identical(ref, fast)
+        # On a cycle every node's first neighbor sends it the explicit
+        # payload; the other neighbor's broadcast still arrives.
+        for v, received in fast.outputs.items():
+            payloads = dict(received)
+            explicit_senders = [u for u in cycle12.neighbors(v)
+                                if cycle12.neighbors(u)[0] == v]
+            for u in explicit_senders:
+                assert payloads[u] == 2
+            for u in set(cycle12.neighbors(v)) - set(explicit_senders):
+                assert payloads[u] == 1
+
     def test_reusable_csr_across_runs(self, gnp60):
         csr = CSRGraph.from_graph(gnp60)
         first = FastEngine(gnp60, lambda _v: FloodMin(4), csr=csr).run()
