@@ -3,20 +3,38 @@
 Every experiment's per-seed trial loop goes through
 ``repro.sim.batch.run_trials``, so ``--workers N`` parallelizes the
 sweeps without changing a single number in the tables (trial randomness
-is a pure function of the trial spec).
+is a pure function of the trial spec). ``--store DIR`` checkpoints every
+completed trial, making full-profile regeneration resumable: rerun the
+same command after a kill and only the missing trials execute.
+``--shard-index/--shard-count`` let independent hosts each compute a
+deterministic slice into their own store; ``--merge`` combines shard
+stores, after which a plain ``--store`` run renders the tables entirely
+from cache.
 
 Usage::
 
     PYTHONPATH=src python scripts_run_experiments.py               # full, serial
     PYTHONPATH=src python scripts_run_experiments.py --workers 8   # full, 8 procs
     PYTHONPATH=src python scripts_run_experiments.py --quick e09   # one table, quick
+    PYTHONPATH=src python scripts_run_experiments.py --store runs/full   # resumable
+    PYTHONPATH=src python scripts_run_experiments.py --store runs/h0 \\
+        --shard-index 0 --shard-count 2                            # host 0 slice
+    PYTHONPATH=src python scripts_run_experiments.py --store runs/full \\
+        --merge runs/h0 runs/h1                                    # combine
 """
 import argparse
 import sys
 import time
 
 from repro.analysis import EXPERIMENTS
-from repro.analysis.cli import positive_int
+from repro.analysis.experiments import SWEEPING
+from repro.analysis.cli import (
+    add_store_arguments,
+    positive_int,
+    resolve_store_arguments,
+    run_store_commands,
+)
+from repro.errors import ConfigurationError
 
 
 def main(argv=None) -> int:
@@ -30,7 +48,24 @@ def main(argv=None) -> int:
                         help="process fan-out for the seed-sweeping "
                              "experiments e01-e06/e08/e10 "
                              "(default: $REPRO_WORKERS or 1)")
+    parser.add_argument("--list", action="store_true",
+                        help="with --store: list the store's contents and "
+                             "exit")
+    add_store_arguments(parser)
     args = parser.parse_args(argv)
+
+    try:
+        store, shard = resolve_store_arguments(args)
+        handled = run_store_commands(args, store)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if handled is not None:
+        return handled
+    if args.list:
+        print("--list without --store lists nothing here; "
+              "see python -m repro.analysis --list", file=sys.stderr)
+        return 2
 
     names = args.names or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -40,10 +75,20 @@ def main(argv=None) -> int:
         return 2
 
     for name in names:
+        if shard is not None and name not in SWEEPING:
+            print(f"### {name} has no trial sweep to shard; skipped — "
+                  f"it runs on the merge host", flush=True)
+            continue
         start = time.time()
         table = EXPERIMENTS[name](quick=args.quick, seed=args.seed,
-                                  workers=args.workers)
+                                  workers=args.workers, store=store,
+                                  shard=shard)
         took = time.time() - start
+        if shard is not None:
+            print(f"### shard {shard[0]}/{shard[1]} of {name} populated in "
+                  f"{took:.1f}s; store holds {len(store)} result(s)",
+                  flush=True)
+            continue
         print(f"### done {name} in {took:.1f}s", flush=True)
         print(table.render(), flush=True)
         print(flush=True)

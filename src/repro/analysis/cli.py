@@ -7,6 +7,14 @@ Usage::
     python -m repro.analysis e03 e08         # a subset
     python -m repro.analysis a1 a2 a3        # ablations
     python -m repro.analysis --list          # show what exists
+
+Durable sweeps (see README "Durable sweep store")::
+
+    python -m repro.analysis --full --store runs/full        # resumable
+    python -m repro.analysis --full --store runs/h0 \\
+        --shard-index 0 --shard-count 2                      # host 0 slice
+    python -m repro.analysis --store runs/full --merge runs/h0 runs/h1
+    python -m repro.analysis --store runs/full --list        # store contents
 """
 
 from __future__ import annotations
@@ -14,10 +22,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import List, Optional, Tuple
 
+from ..errors import ConfigurationError
+from ..sim.batch import TrialStore, merge_stores
 from .ablations import ABLATIONS
-from .experiments import EXPERIMENTS
+from .experiments import EXPERIMENTS, SWEEPING
 
 
 def positive_int(text: str) -> int:
@@ -26,6 +36,64 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The durable-sweep flags, shared by this CLI and the script CLI."""
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="durable trial store: completed trials are "
+                             "checkpointed there and reused on rerun, so "
+                             "interrupted sweeps resume from partial results")
+    parser.add_argument("--shard-index", type=int, default=None,
+                        metavar="I",
+                        help="with --shard-count: compute only slice I of "
+                             "every sweep grid into --store (tables are "
+                             "suppressed; merge the shard stores and rerun "
+                             "with --store alone to render them)")
+    parser.add_argument("--shard-count", type=positive_int, default=None,
+                        metavar="C",
+                        help="number of deterministic grid slices (hosts)")
+    parser.add_argument("--merge", nargs="+", metavar="SRC", default=None,
+                        help="merge these store directories into --store "
+                             "and exit")
+
+
+def resolve_store_arguments(
+        args: argparse.Namespace,
+) -> Tuple[Optional[TrialStore], Optional[Tuple[int, int]]]:
+    """Validate the flag combinations; open the store; build the shard pair."""
+    if (args.shard_index is None) != (args.shard_count is None):
+        raise ConfigurationError(
+            "--shard-index and --shard-count must be given together")
+    shard = None
+    if args.shard_index is not None:
+        shard = (args.shard_index, args.shard_count)
+        if not 0 <= args.shard_index < args.shard_count:
+            raise ConfigurationError(
+                f"--shard-index must be in [0, {args.shard_count}), "
+                f"got {args.shard_index}")
+        if args.store is None:
+            raise ConfigurationError("--shard-index/--shard-count require "
+                                     "--store (the slice must be persisted "
+                                     "for a later merge)")
+    if args.merge is not None and args.store is None:
+        raise ConfigurationError("--merge requires --store (the destination)")
+    store = TrialStore(args.store) if args.store is not None else None
+    return store, shard
+
+
+def run_store_commands(args: argparse.Namespace,
+                       store: Optional[TrialStore]) -> Optional[int]:
+    """Handle --merge and --store --list; None means keep going."""
+    if args.merge is not None:
+        stats = merge_stores(store, args.merge)
+        print(f"merged {len(args.merge)} store(s) into {store.root}: "
+              f"{stats['added']} added, {stats['duplicate']} duplicate")
+        return 0
+    if args.list and store is not None:
+        print(store.describe())
+        return 0
+    return None
 
 
 def main(argv: List[str] = None) -> int:
@@ -44,8 +112,19 @@ def main(argv: List[str] = None) -> int:
                              "experiments e01-e06/e08/e10 "
                              "(default: $REPRO_WORKERS or 1)")
     parser.add_argument("--list", action="store_true",
-                        help="list available names and exit")
+                        help="list available names and exit (with --store: "
+                             "list the store's contents instead)")
+    add_store_arguments(parser)
     args = parser.parse_args(argv)
+
+    try:
+        store, shard = resolve_store_arguments(args)
+        handled = run_store_commands(args, store)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if handled is not None:
+        return handled
 
     registry = {**EXPERIMENTS, **ABLATIONS}
     if args.list:
@@ -62,13 +141,26 @@ def main(argv: List[str] = None) -> int:
         return 2
 
     for name in names:
+        if shard is not None and name not in SWEEPING:
+            # Nothing to slice: the driver has no trial sweep and would
+            # store nothing — run it once, on the final rendering host.
+            print(f"[{name}: no trial sweep to shard; skipped — it runs "
+                  f"on the merge host]")
+            continue
         start = time.time()
         kwargs = dict(quick=not args.full, seed=args.seed)
         if name in EXPERIMENTS:  # ablations do not fan out
-            kwargs["workers"] = args.workers
+            kwargs.update(workers=args.workers, store=store, shard=shard)
         table = registry[name](**kwargs)
+        took = time.time() - start
+        if shard is not None:
+            # A shard run only populates the store; its tables are
+            # partial by construction, so don't render misleading ones.
+            print(f"[{name}: shard {shard[0]}/{shard[1]} populated in "
+                  f"{took:.1f}s; store now holds {len(store)} result(s)]")
+            continue
         print(table.render())
-        print(f"[{name}: {time.time() - start:.1f}s]")
+        print(f"[{name}: {took:.1f}s]")
         print()
     return 0
 

@@ -17,12 +17,22 @@ changing their numbers — trial randomness is a pure function of the
 spec, so worker count never affects results — while e07/e09/e11 have
 no per-seed sweep and accept ``workers`` only for interface
 uniformity (they run serially regardless).
+
+Every driver also accepts ``store`` (a
+:class:`~repro.sim.batch.TrialStore`) and ``shard`` (``(index,
+count)``), threaded through to every ``run_trials`` call: with a store
+the sweeps are checkpointed per trial, so a killed full-profile
+regeneration resumes per-table from partial results; with a shard each
+host computes only its deterministic slice of every sweep (tables are
+then partial — merge the stores and rerun with ``store`` alone to
+render complete ones). Table assembly tolerates the placeholder
+results a sharded run leaves for other hosts' trials.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import (
     deterministic_orientation,
@@ -53,14 +63,31 @@ from ..core.decomposition import (
 from ..errors import DerandomizationFailure
 from ..graphs import assign, make, random_regular
 from ..randomness import IndependentSource, KWiseSource, SparseRandomness
-from ..sim.batch import TrialResult, TrialSpec, run_trials
+from ..sim.batch import TrialResult, TrialSpec, TrialStore, run_trials
 from ..sim.graph import DistributedGraph
 from .stats import log2_or_floor, success_rate, wilson_interval
 from .tables import Table
 
+#: run_trials sharding: (shard index, shard count) or None.
+Shard = Optional[Tuple[int, int]]
+
 
 def _logn(n: int) -> int:
     return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def _last_metric(results: List[TrialResult], name: str,
+                 default: object = "-") -> object:
+    """The metric of the last trial that actually recorded it.
+
+    Equivalent to ``results[-1].data[name]`` on a complete sweep;
+    sharded runs leave placeholder results (empty ``data``) for trials
+    owned by other hosts, which must be skipped.
+    """
+    for result in reversed(results):
+        if name in result.data:
+            return result.data[name]
+    return default
 
 
 # ----------------------------------------------------------------------
@@ -83,7 +110,9 @@ def _e01_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e01_sparse_bits(quick: bool = False, seed: int = 0,
-                    workers: Optional[int] = None) -> Table:
+                    workers: Optional[int] = None,
+                    store: Optional[TrialStore] = None,
+                    shard: Shard = None) -> Table:
     """Sweep the holder radius h; measure decomposition quality.
 
     Theorem 3.1 bound: O(log n) colors, h·poly(log n) diameter. The
@@ -97,7 +126,7 @@ def e01_sparse_bits(quick: bool = False, seed: int = 0,
         results = run_trials(
             _e01_trial,
             [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
-            workers=workers)
+            workers=workers, store=store, shard=shard)
         outcomes = [r.ok for r in results]
         colors = [r.data["colors"] for r in results if r.ok]
         diams = [r.data["diam"] for r in results if r.ok]
@@ -142,7 +171,9 @@ def _e02_kwise_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e02_kwise(quick: bool = False, seed: int = 0,
-              workers: Optional[int] = None) -> Table:
+              workers: Optional[int] = None,
+              store: Optional[TrialStore] = None,
+              shard: Shard = None) -> Table:
     """Success of the EN construction as the independence k sweeps up.
 
     k = 1 is full correlation (all nodes share one radius — ties
@@ -160,21 +191,21 @@ def e02_kwise(quick: bool = False, seed: int = 0,
         _e02_ref_trial,
         [TrialSpec.of("cycle", n, t, base=seed, phases=phases, cap=cap)
          for t in range(trials)],
-        workers=workers)
+        workers=workers, store=store, shard=shard)
     ref = [r.ok for r in ref_results]
     for k in ks:
         results = run_trials(
             _e02_kwise_trial,
             [TrialSpec.of("cycle", n, t, base=seed, k=k,
                           phases=phases, cap=cap) for t in range(trials)],
-            workers=workers)
+            workers=workers, store=store, shard=shard)
         outcomes = [r.ok for r in results]
         lo, hi = wilson_interval(sum(outcomes), trials)
         rows.append({
             "k": k,
             "success": success_rate(outcomes),
             "CI95": f"[{lo:.2f},{hi:.2f}]",
-            "seed bits (k*m)": results[-1].data["seed_bits"],
+            "seed bits (k*m)": _last_metric(results, "seed_bits"),
             "independent ref": success_rate(ref),
         })
     return Table(
@@ -197,7 +228,9 @@ def _e03_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e03_splitting(quick: bool = False, seed: int = 0,
-                  workers: Optional[int] = None) -> Table:
+                  workers: Optional[int] = None,
+                  store: Optional[TrialStore] = None,
+                  shard: Shard = None) -> Table:
     """Zero-round splitting under the four randomness regimes."""
     num_v = 128 if quick else 512
     num_u = 64 if quick else 256
@@ -209,9 +242,9 @@ def e03_splitting(quick: bool = False, seed: int = 0,
             _e03_trial,
             [TrialSpec.of(regime, num_v, t, base=seed, num_u=num_u,
                           degree=degree) for t in range(trials)],
-            workers=workers)
+            workers=workers, store=store, shard=shard)
         outcomes = [r.ok for r in results]
-        seed_bits = results[-1].data["seed_bits"]
+        seed_bits = _last_metric(results, "seed_bits")
         lo, hi = wilson_interval(sum(outcomes), trials)
         rows.append({
             "regime": regime,
@@ -248,7 +281,9 @@ def _e04_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e04_shared_congest(quick: bool = False, seed: int = 0,
-                       workers: Optional[int] = None) -> Table:
+                       workers: Optional[int] = None,
+                       store: Optional[TrialStore] = None,
+                       shard: Shard = None) -> Table:
     """Decomposition quality and seed budget of the Theorem 3.6 run."""
     sizes = (48, 96) if quick else (64, 128, 256)
     trials = 2 if quick else 5
@@ -258,7 +293,7 @@ def e04_shared_congest(quick: bool = False, seed: int = 0,
             _e04_trial,
             [TrialSpec.of("gnp-sparse", n, t, base=seed)
              for t in range(trials)],
-            workers=workers)
+            workers=workers, store=store, shard=shard)
         ok = [r.ok for r in results]
         colors = [r.data["colors"] for r in results if r.data]
         diams = [r.data["diam"] for r in results if r.data]
@@ -267,12 +302,12 @@ def e04_shared_congest(quick: bool = False, seed: int = 0,
         rows.append({
             "n": n,
             "success": success_rate(ok),
-            "colors(max)": max(colors),
+            "colors(max)": max(colors) if colors else "-",
             "O(log n)": 2 * _logn(n),
-            "strong diam(max)": max(diams),
+            "strong diam(max)": max(diams) if diams else "-",
             "O(log^2 n)": 2 * _logn(n) ** 2,
-            "congestion": max(congs),
-            "shared bits used": max(bits),
+            "congestion": max(congs) if congs else "-",
+            "shared bits used": max(bits) if bits else "-",
         })
     return Table(
         title="E4 (Theorem 3.6): (O(log n), O(log^2 n)) decomposition "
@@ -304,7 +339,9 @@ def _e05_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e05_sparse_strong(quick: bool = False, seed: int = 0,
-                      workers: Optional[int] = None) -> Table:
+                      workers: Optional[int] = None,
+                      store: Optional[TrialStore] = None,
+                      shard: Shard = None) -> Table:
     """Theorem 3.1's diameter grows with h; Theorem 3.7's must not."""
     n = 144 if quick else 400
     trials = 2 if quick else 4
@@ -313,7 +350,7 @@ def e05_sparse_strong(quick: bool = False, seed: int = 0,
         results = run_trials(
             _e05_trial,
             [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
-            workers=workers)
+            workers=workers, store=store, shard=shard)
         weak_diams = [r.data["weak"] for r in results if "weak" in r.data]
         strong_diams = [r.data["strong"] for r in results
                         if "strong" in r.data]
@@ -346,7 +383,9 @@ def _e06_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e06_shattering(quick: bool = False, seed: int = 0,
-                   workers: Optional[int] = None) -> Table:
+                   workers: Optional[int] = None,
+                   store: Optional[TrialStore] = None,
+                   shard: Shard = None) -> Table:
     """Leftover-set statistics and the shattered finish.
 
     The EN stage is deliberately under-provisioned (few phases) so the
@@ -363,18 +402,18 @@ def e06_shattering(quick: bool = False, seed: int = 0,
         _e06_trial,
         [TrialSpec.of("grid", n, t, base=seed, phases=phases, cap=cap)
          for t in range(trials)],
-        workers=workers)
-    leftovers = [r.data["leftover"] for r in results]
-    seps = [r.data["separated"] for r in results]
-    en_fail = sum(1 for r in results if r.data["leftover"] > 0)
+        workers=workers, store=store, shard=shard)
+    leftovers = [r.data["leftover"] for r in results if "leftover" in r.data]
+    seps = [r.data["separated"] for r in results if "separated" in r.data]
+    en_fail = sum(1 for value in leftovers if value > 0)
     shatter_ok = sum(1 for r in results if r.ok)
-    max_k = max(seps)
+    max_k = max(seps, default=0)
     rows.append({
         "n": n,
         "EN phases": phases,
         "trials": trials,
         "strict EN failures": en_fail,
-        "max |leftover|": max(leftovers),
+        "max |leftover|": max(leftovers, default=0),
         "max separated K": max_k,
         "log2 Pr bound (n^-K)": log2_or_floor(float(n) ** (-max_k)) if max_k else 0.0,
         "shattering success": shatter_ok / trials,
@@ -392,7 +431,9 @@ def e06_shattering(quick: bool = False, seed: int = 0,
 # E7 — Lemma 4.1: exhaustive-seed derandomization
 # ----------------------------------------------------------------------
 def e07_derandomize(quick: bool = False, seed: int = 0,
-                    workers: Optional[int] = None) -> Table:
+                    workers: Optional[int] = None,
+                    store: Optional[TrialStore] = None,
+                    shard: Shard = None) -> Table:
     """Seed enumeration over instance families of growing size."""
     degree = 8
     seed_bits = 10 if quick else 12
@@ -455,7 +496,9 @@ def _e08_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e08_lie_about_n(quick: bool = False, seed: int = 0,
-                    workers: Optional[int] = None) -> Table:
+                    workers: Optional[int] = None,
+                    store: Optional[TrialStore] = None,
+                    shard: Shard = None) -> Table:
     """Success probability and round cost of EN parametrized for N >= n."""
     n = 64 if quick else 100
     trials = 20 if quick else 60
@@ -469,9 +512,9 @@ def e08_lie_about_n(quick: bool = False, seed: int = 0,
             _e08_trial,
             [TrialSpec.of("gnp-sparse", n, t, base=seed, phases=phases,
                           cap=cap) for t in range(trials)],
-            workers=workers)
+            workers=workers, store=store, shard=shard)
         outcomes = [r.ok for r in results]
-        rounds = results[-1].data["rounds"]
+        rounds = _last_metric(results, "rounds")
         failures = trials - sum(outcomes)
         rows.append({
             "claimed N": claimed,
@@ -493,7 +536,9 @@ def e08_lie_about_n(quick: bool = False, seed: int = 0,
 # E9 — completeness consumers: MIS and coloring via decomposition
 # ----------------------------------------------------------------------
 def e09_mis_coloring(quick: bool = False, seed: int = 0,
-                     workers: Optional[int] = None) -> Table:
+                     workers: Optional[int] = None,
+                     store: Optional[TrialStore] = None,
+                     shard: Shard = None) -> Table:
     """Randomized engine algorithms vs deterministic via-decomposition."""
     sizes = (40, 80) if quick else (50, 100, 200)
     rows: List[Dict[str, object]] = []
@@ -540,7 +585,9 @@ def _e10_trial(spec: TrialSpec) -> TrialResult:
 
 
 def e10_sinkless(quick: bool = False, seed: int = 0,
-                 workers: Optional[int] = None) -> Table:
+                 workers: Optional[int] = None,
+                 store: Optional[TrialStore] = None,
+                 shard: Shard = None) -> Table:
     """Randomized fix-up convergence on d-regular graphs."""
     from ..core import randomized_orientation_engine
 
@@ -552,8 +599,8 @@ def e10_sinkless(quick: bool = False, seed: int = 0,
             _e10_trial,
             [TrialSpec.of("regular-3", n, t, base=seed)
              for t in range(trials)],
-            workers=workers)
-        fixups = [r.data["fixups"] for r in results]
+            workers=workers, store=store, shard=shard)
+        fixups = [r.data["fixups"] for r in results if "fixups" in r.data]
         valid = [r.ok for r in results]
         engine_valid = []
         # One engine-measured run per size: the genuine message-passing
@@ -567,8 +614,8 @@ def e10_sinkless(quick: bool = False, seed: int = 0,
             assign(random_regular(n, 3, seed=seed), "random", seed=seed))
         rows.append({
             "n": n,
-            "avg fix-up rounds": sum(fixups) / len(fixups),
-            "max fix-up rounds": max(fixups),
+            "avg fix-up rounds": sum(fixups) / len(fixups) if fixups else "-",
+            "max fix-up rounds": max(fixups) if fixups else "-",
             "log2 log2 n": round(math.log2(max(2, _logn(n))), 2),
             "all valid": all(valid),
             "engine valid": all(engine_valid),
@@ -586,7 +633,9 @@ def e10_sinkless(quick: bool = False, seed: int = 0,
 # E11 — uniform vs non-uniform algorithms (Section 2, Definitions 2.1/2.2)
 # ----------------------------------------------------------------------
 def e11_uniform(quick: bool = False, seed: int = 0,
-                workers: Optional[int] = None) -> Table:
+                workers: Optional[int] = None,
+                store: Optional[TrialStore] = None,
+                shard: Shard = None) -> Table:
     """Cost of uniformity: guess-and-double with local certification.
 
     A non-uniform algorithm that needs its input N >= n is made uniform
@@ -632,6 +681,12 @@ def e11_uniform(quick: bool = False, seed: int = 0,
     )
 
 
+#: Drivers with a per-seed run_trials sweep — the only ones a sharded,
+#: store-populating run needs to execute; e07/e09/e11 store nothing, so
+#: shard hosts skip them and only the final rendering run computes them.
+SWEEPING = frozenset(
+    ("e01", "e02", "e03", "e04", "e05", "e06", "e08", "e10"))
+
 #: registry used by benchmarks and the CLI of run_all.
 EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e01": e01_sparse_bits,
@@ -649,11 +704,22 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
 
 
 def run_all(quick: bool = True, seed: int = 0,
-            workers: Optional[int] = None) -> List[Table]:
+            workers: Optional[int] = None,
+            store: Optional[TrialStore] = None,
+            shard: Shard = None) -> List[Table]:
     """Run every experiment; returns the tables in order.
 
     ``workers`` fans each experiment's seed sweep across processes via
-    :func:`repro.sim.batch.run_trials` (None -> $REPRO_WORKERS -> 1).
+    :func:`repro.sim.batch.run_trials` (None -> $REPRO_WORKERS -> 1);
+    ``store``/``shard`` make the sweeps durable and sliceable (see the
+    module docstring). In shard mode only the :data:`SWEEPING` drivers
+    run (and are returned): the others have no trials to slice or
+    store, so executing them per shard host would be duplicated work
+    discarded on merge.
     """
-    return [EXPERIMENTS[name](quick=quick, seed=seed, workers=workers)
-            for name in sorted(EXPERIMENTS)]
+    names = sorted(EXPERIMENTS)
+    if shard is not None:
+        names = [name for name in names if name in SWEEPING]
+    return [EXPERIMENTS[name](quick=quick, seed=seed, workers=workers,
+                              store=store, shard=shard)
+            for name in names]

@@ -18,9 +18,18 @@ from .runner import (
     TrialResult,
     TrialSpec,
     aggregate,
+    default_chunksize,
     grid,
     resolve_workers,
     run_trials,
+    shard,
+)
+from .store import (
+    RESULT_FORMAT_VERSION,
+    TrialStore,
+    canonical_spec,
+    merge_stores,
+    spec_key,
 )
 
 __all__ = [
@@ -29,16 +38,23 @@ __all__ = [
     "ArrayProgram",
     "CSRGraph",
     "FastEngine",
+    "RESULT_FORMAT_VERSION",
     "Sends",
     "TrialResult",
     "TrialSpec",
+    "TrialStore",
     "aggregate",
     "bfs_forest_trial",
+    "canonical_spec",
+    "default_chunksize",
     "ensure_csr",
     "flood_min_trial",
     "grid",
     "luby_mis_trial",
+    "merge_stores",
     "resolve_workers",
     "run_program_fast",
     "run_trials",
+    "shard",
+    "spec_key",
 ]

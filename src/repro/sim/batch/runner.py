@@ -35,6 +35,12 @@ class TrialSpec:
     :data:`repro.graphs.generators.FAMILIES` key, but tasks are free to
     interpret them — e.g. E3 uses ``family`` for its randomness regime).
     ``params`` carries task-specific knobs (phases, caps, radii, ...).
+
+    ``params`` is canonicalized on construction: pairs become tuples,
+    sorted by key. Two equal specs therefore always have identical
+    field values however they were built — directly or via :meth:`of` —
+    which is what makes them safe as durable-store keys
+    (:mod:`repro.sim.batch.store`).
     """
 
     family: str
@@ -42,10 +48,15 @@ class TrialSpec:
     seed: int
     params: Tuple[Tuple[str, Any], ...] = ()
 
+    def __post_init__(self) -> None:
+        canonical = tuple(sorted((tuple(pair) for pair in self.params),
+                                 key=lambda pair: pair[0]))
+        object.__setattr__(self, "params", canonical)
+
     @classmethod
     def of(cls, family: str, n: int, seed: int, **params: Any) -> "TrialSpec":
         """Build a spec with keyword params (stored sorted, hashable)."""
-        return cls(family, n, seed, tuple(sorted(params.items())))
+        return cls(family, n, seed, tuple(params.items()))
 
     def param(self, name: str, default: Any = None) -> Any:
         """Look up one knob."""
@@ -96,24 +107,141 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def default_chunksize(num_tasks: int, workers: int) -> int:
+    """Pool chunk size balancing IPC overhead against load balance.
+
+    One task per chunk pays a pickle round-trip per trial; one chunk
+    per worker loses all balancing. Eight chunks per worker is the
+    usual compromise. Chunking never affects results or their order —
+    only how specs are batched onto workers.
+    """
+    return max(1, num_tasks // (max(1, workers) * 8))
+
+
+def check_shard(index: int, count: int) -> None:
+    """Validate a ``(shard index, shard count)`` pair."""
+    if count < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index must be in [0, {count}), got {index}")
+
+
+def shard(specs: Sequence[TrialSpec], index: int, count: int) -> List[TrialSpec]:
+    """Deterministic slice ``index`` of ``count``: every count-th spec.
+
+    The ``count`` slices partition the grid — disjoint, exhaustive, and
+    order-preserving — and depend only on grid positions, never on what
+    any host has already computed. Independent hosts can therefore each
+    run ``shard(specs, i, count)`` into their own store and the merged
+    stores cover the grid exactly once (see
+    :func:`repro.sim.batch.store.merge_stores`).
+    """
+    check_shard(index, count)
+    return list(specs)[index::count]
+
+
+def task_name_of(task: Callable[..., Any], task_name: Optional[str]) -> str:
+    """The store namespace for ``task``: explicit name or module path."""
+    if task_name is not None:
+        return task_name
+    module = getattr(task, "__module__", None) or "<unknown>"
+    qualname = getattr(task, "__qualname__", None) or repr(task)
+    return f"{module}.{qualname}"
+
+
 def run_trials(task: Callable[[TrialSpec], TrialResult],
                specs: Sequence[TrialSpec],
                workers: Optional[int] = None,
-               chunksize: int = 1) -> List[TrialResult]:
+               chunksize: Optional[int] = None,
+               store: Optional[Any] = None,
+               task_name: Optional[str] = None,
+               shard: Optional[Tuple[int, int]] = None) -> List[TrialResult]:
     """Map ``task`` over ``specs``, fanning across processes.
 
     Results are returned in ``specs`` order. With ``workers=1`` (the
     default) everything runs in-process — no pickling, easy debugging.
     ``workers=None`` consults ``$REPRO_WORKERS``. The pool size is
-    capped at ``len(specs)`` so tiny sweeps don't pay fork overhead for
-    idle workers.
+    capped at the number of specs to run so tiny sweeps don't pay fork
+    overhead for idle workers. ``chunksize=None`` picks
+    :func:`default_chunksize`; any chunking returns identical results
+    in identical order.
+
+    ``store`` (a :class:`repro.sim.batch.store.TrialStore`) makes the
+    sweep durable: cached results are reused, fresh ones are appended
+    to the store the moment each completes — in grid order, so an
+    interrupted sweep resumes from its partial results and finishes
+    with results, aggregates, and store contents identical to an
+    uninterrupted run. ``task_name`` namespaces the cache (default: the
+    task's module-qualified name). ``shard=(index, count)`` — store
+    required — computes only the grid positions owned by that shard
+    (``index::count``); positions owned by other shards that are not
+    already cached come back as placeholder results (``ok=False``,
+    empty ``data``) and are never written to the store.
     """
     specs = list(specs)
-    workers = min(resolve_workers(workers), max(1, len(specs)))
-    if workers == 1 or len(specs) <= 1:
-        return [task(spec) for spec in specs]
-    with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(task, specs, chunksize=max(1, chunksize))
+    if shard is not None:
+        shard_index, shard_count = shard
+        check_shard(shard_index, shard_count)
+        if store is None:
+            raise ConfigurationError(
+                "shard= requires store=: a sharded run only computes a "
+                "slice, which is only useful when persisted for a merge")
+    if store is None:
+        workers = min(resolve_workers(workers), max(1, len(specs)))
+        if workers == 1 or len(specs) <= 1:
+            return [task(spec) for spec in specs]
+        size = (default_chunksize(len(specs), workers)
+                if chunksize is None else max(1, chunksize))
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(task, specs, chunksize=size)
+
+    name = task_name_of(task, task_name)
+    # Validate up front: a bad workers value must fail on a warm cache
+    # exactly as it would on a cold one.
+    workers = resolve_workers(workers)
+    results: List[Optional[TrialResult]] = [None] * len(specs)
+    positions: Dict[TrialSpec, List[int]] = {}
+    to_run: List[TrialSpec] = []
+    for i, spec in enumerate(specs):
+        cached = store.get(name, spec)
+        if cached is not None:
+            results[i] = cached
+            continue
+        owned = shard is None or i % shard_count == shard_index
+        if spec in positions:
+            positions[spec].append(i)
+        elif owned:
+            positions[spec] = [i]
+            to_run.append(spec)
+
+    if to_run:
+        workers = min(workers, len(to_run))
+        if workers == 1 or len(to_run) == 1:
+            for spec in to_run:
+                result = task(spec)
+                store.put(name, spec, result)
+                for i in positions[spec]:
+                    results[i] = result
+        else:
+            size = (default_chunksize(len(to_run), workers)
+                    if chunksize is None else max(1, chunksize))
+            with multiprocessing.Pool(processes=workers) as pool:
+                # imap (not map): results arrive in grid order and each
+                # is checkpointed as it lands, so a kill loses at most
+                # the in-flight chunk — the resume story.
+                for spec, result in zip(to_run,
+                                        pool.imap(task, to_run,
+                                                  chunksize=size)):
+                    store.put(name, spec, result)
+                    for i in positions[spec]:
+                        results[i] = result
+    done: List[TrialResult] = []
+    for i, result in enumerate(results):
+        if result is None:
+            result = TrialResult(specs[i], False, {})
+        done.append(result)
+    return done
 
 
 def aggregate(results: Iterable[TrialResult],

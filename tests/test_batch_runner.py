@@ -35,6 +35,15 @@ class TestTrialSpec:
         b = TrialSpec.of("cycle", 12, 3, k=1)
         assert a == b and hash(a) == hash(b)
 
+    def test_direct_construction_is_canonicalized(self):
+        """Regression: unsorted params passed directly (not via .of) must
+        still compare and hash equal — equal specs can never produce
+        distinct durable-store keys."""
+        direct = TrialSpec("cycle", 12, 3, (("zeta", 1), ("alpha", 2)))
+        via_of = TrialSpec.of("cycle", 12, 3, zeta=1, alpha=2)
+        assert direct.params == (("alpha", 2), ("zeta", 1))
+        assert direct == via_of and hash(direct) == hash(via_of)
+
     def test_grid_is_full_cross_product(self):
         specs = grid(["path", "cycle"], [10, 20], range(3), radius=2)
         assert len(specs) == 12
@@ -61,6 +70,17 @@ class TestRunTrials:
         serial = run_trials(flood_min_trial, specs, workers=1)
         fanned = run_trials(flood_min_trial, specs, workers=4)
         assert serial == fanned
+
+    def test_chunksize_never_affects_results(self):
+        """Adaptive default chunking (chunksize=None) and any explicit
+        chunk size return the same results in the same order."""
+        specs = grid(["cycle", "tree"], [16], range(4), radius=6)
+        baseline = run_trials(flood_min_trial, specs, workers=1)
+        for chunksize in (None, 1, 2, 100):
+            fanned = run_trials(flood_min_trial, specs, workers=4,
+                                chunksize=chunksize)
+            assert fanned == baseline
+            assert [r.spec for r in fanned] == specs
 
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ConfigurationError):
