@@ -1,0 +1,242 @@
+"""Coordinated-sweep smoke: kill a worker mid-sweep, still byte-identical.
+
+CI runs this after the test suite. One coordinator and two workers are
+launched as real subprocesses; worker A is throttled so its units take
+seconds, then SIGKILLed while it provably holds a lease. The lease
+expires, the unit is re-leased to worker B, and the merged-and-repacked
+store must come out byte-for-byte identical to a single-host run — the
+coordinator's core guarantee, exercised through genuine process death
+rather than a simulated one. The store directories are left on disk
+for CI to upload as artifacts.
+
+Usage::
+
+    PYTHONPATH=src python scripts_coordinated_smoke.py \\
+        [--dir coordinated-store] [--transport http|dir]
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+_REPO = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_REPO, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis import EXPERIMENTS  # noqa: E402
+from repro.sim.batch import TrialStore  # noqa: E402
+
+_URL_PATTERN = re.compile(r"coordinator listening on (http://\S+)")
+_SUMMARY_PATTERN = re.compile(r"units=(\d+) reassigned=(\d+) late=(\d+)")
+
+
+def _child_env():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = _SRC + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn(argv, log_path):
+    handle = open(log_path, "w", encoding="utf-8")
+    process = subprocess.Popen(
+        [sys.executable] + argv,
+        stdout=handle,
+        stderr=subprocess.STDOUT,
+        env=_child_env(),
+        cwd=_REPO,
+    )
+    process.log_handle = handle
+    process.log_path = log_path
+    return process
+
+
+def _wait_for(predicate, timeout, message, poll=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise AssertionError(f"timed out after {timeout}s waiting for {message}")
+
+
+def _read_log(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _status(url):
+    try:
+        with urllib.request.urlopen(f"{url}/status", timeout=5) as response:
+            return json.loads(response.read())
+    except OSError:
+        return None
+
+
+def _store_bytes(root):
+    contents = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for name in files:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as handle:
+                contents[os.path.relpath(path, root)] = handle.read()
+    return contents
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default="coordinated-store",
+        help="work directory (kept on disk for artifact upload)",
+    )
+    parser.add_argument("--transport", choices=("http", "dir"), default="http")
+    parser.add_argument("--experiment", default="e06")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=240.0)
+    args = parser.parse_args(argv)
+    if os.path.isdir(args.dir):
+        # Leftover stores from a previous run would turn the sweep into
+        # a cache replay and rob the kill of its target; the smoke must
+        # be rerunnable against the same --dir.
+        shutil.rmtree(args.dir)
+
+    baseline_dir = os.path.join(args.dir, "baseline")
+    merged_dir = os.path.join(args.dir, "merged")
+    staging_dir = os.path.join(args.dir, "staging")
+
+    print(f"single-host baseline: {args.experiment} -> {baseline_dir}", flush=True)
+    with TrialStore(baseline_dir) as baseline_store:
+        EXPERIMENTS[args.experiment](
+            quick=True, seed=args.seed, store=baseline_store
+        )
+        baseline_count = len(baseline_store)
+    assert baseline_count > 0, "baseline sweep stored nothing"
+
+    coordinator = _spawn(
+        [
+            "-m",
+            "repro.analysis",
+            args.experiment,
+            "--seed",
+            str(args.seed),
+            "--store",
+            merged_dir,
+            "--staging",
+            staging_dir,
+            "--coordinator",
+            "127.0.0.1:0",
+            "--units",
+            "4",
+            "--lease-ttl",
+            "3",
+        ],
+        os.path.join(args.dir, "coordinator.log"),
+    )
+    workers = []
+    try:
+        def coordinator_url():
+            match = _URL_PATTERN.search(_read_log(coordinator.log_path))
+            return match.group(1) if match else None
+
+        url = _wait_for(coordinator_url, 30, "the coordinator URL")
+        print(f"coordinator up at {url}", flush=True)
+
+        def worker_argv(worker_id, throttle):
+            argv = [
+                "-m",
+                "repro.analysis",
+                "--worker",
+                url,
+                "--worker-id",
+                worker_id,
+                "--poll",
+                "0.1",
+                "--throttle",
+                str(throttle),
+                "--transport",
+                args.transport,
+            ]
+            if args.transport == "dir":
+                argv += ["--transport-dir", staging_dir]
+            return argv
+
+        # Worker A is slow on purpose: ~0.5s per trial gives a wide
+        # window in which it provably holds a lease when we kill it.
+        victim = _spawn(
+            worker_argv("workerA", 0.5), os.path.join(args.dir, "workerA.log")
+        )
+        survivor = _spawn(
+            worker_argv("workerB", 0.05), os.path.join(args.dir, "workerB.log")
+        )
+        workers = [victim, survivor]
+
+        def victim_holds_lease():
+            status = _status(url)
+            if status is None:
+                return None
+            held = [
+                unit_id
+                for unit_id, lease in status["leases"].items()
+                if lease["worker"] == "workerA"
+            ]
+            return held or None
+
+        held = _wait_for(victim_holds_lease, 60, "workerA to hold a lease")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+        print(f"killed workerA while it held unit(s) {held}", flush=True)
+
+        coordinator.wait(timeout=args.timeout)
+        survivor.wait(timeout=60)
+    finally:
+        for process in [coordinator] + workers:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+            process.log_handle.close()
+
+    coordinator_log = _read_log(coordinator.log_path)
+    if coordinator.returncode != 0:
+        print(coordinator_log)
+        raise AssertionError(f"coordinator exited {coordinator.returncode}")
+    summary = _SUMMARY_PATTERN.search(coordinator_log)
+    assert summary, f"no summary line in coordinator output:\n{coordinator_log}"
+    units, reassigned, late = map(int, summary.groups())
+    print(
+        f"coordinator summary: units={units} reassigned={reassigned} late={late}",
+        flush=True,
+    )
+    assert reassigned >= 1, (
+        "the killed worker's lease was never reassigned — the kill window "
+        "missed; see workerA.log / coordinator.log"
+    )
+
+    baseline = _store_bytes(baseline_dir)
+    merged = _store_bytes(merged_dir)
+    assert merged == baseline, (
+        f"coordinated store differs from single-host baseline: "
+        f"{sorted(set(baseline) ^ set(merged))} differ in name, or contents "
+        f"diverge"
+    )
+    print(
+        f"coordinated-sweep smoke OK: {args.transport} transport, "
+        f"{units} units, {reassigned} reassigned after a SIGKILL, store "
+        f"byte-identical to the single-host baseline "
+        f"({baseline_count} result(s))",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

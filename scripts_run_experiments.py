@@ -21,6 +21,16 @@ Usage::
         --shard-index 0 --shard-count 2                            # host 0 slice
     PYTHONPATH=src python scripts_run_experiments.py --store runs/full \\
         --merge runs/h0 runs/h1                                    # combine
+
+Coordinated sweeps replace the manual shard bookkeeping: one
+``--coordinator`` process leases work units to any number of
+``--worker`` processes and merges their pushed stores byte-identically
+to a single-host run (README "Distributed sweeps")::
+
+    PYTHONPATH=src python scripts_run_experiments.py --store runs/full \\
+        --coordinator 0.0.0.0:8642                                 # serve
+    PYTHONPATH=src python scripts_run_experiments.py \\
+        --worker http://host:8642                                  # per worker
 """
 import argparse
 import sys
@@ -33,6 +43,10 @@ from repro.analysis.cli import (
     positive_int,
     resolve_store_arguments,
     run_store_commands,
+)
+from repro.analysis.coordinated import (
+    add_coordination_arguments,
+    run_coordination,
 )
 from repro.errors import ConfigurationError
 
@@ -52,9 +66,14 @@ def main(argv=None) -> int:
                         help="with --store: list the store's contents and "
                              "exit")
     add_store_arguments(parser)
+    add_coordination_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
+        handled = run_coordination(args, args.names or sorted(EXPERIMENTS),
+                                   quick=args.quick, seed=args.seed)
+        if handled is not None:
+            return handled
         store, shard = resolve_store_arguments(args)
         handled = run_store_commands(args, store)
     except ConfigurationError as exc:

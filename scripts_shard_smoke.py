@@ -11,6 +11,8 @@ Usage::
     PYTHONPATH=src python scripts_shard_smoke.py [--dir sweep-store]
 """
 import argparse
+import os
+import shutil
 import sys
 
 from repro.sim.batch import (
@@ -29,6 +31,11 @@ def main(argv=None) -> int:
     parser.add_argument("--dir", default="sweep-store",
                         help="store root (kept for artifact upload)")
     args = parser.parse_args(argv)
+    if os.path.isdir(args.dir):
+        # A warm store from a previous run would make every merge a
+        # duplicate and fail the added==total assertion below; the
+        # smoke must be rerunnable against the same --dir.
+        shutil.rmtree(args.dir)
 
     sweeps = [
         (flood_min_trial, grid(["cycle", "gnp-sparse"], [16, 24], range(3),

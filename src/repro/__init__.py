@@ -24,8 +24,6 @@ Quickstart::
     print(dec.num_colors(), dec.max_strong_diameter(g))
 """
 
-__version__ = "1.0.0"
-
 from . import checkers, core, graphs, randomness, sim
 from .errors import (
     BandwidthExceeded,
@@ -37,6 +35,8 @@ from .errors import (
     ReproError,
 )
 from .structures import Decomposition, Hypergraph, SplittingInstance
+
+__version__ = "1.0.0"
 
 __all__ = [
     "BandwidthExceeded",

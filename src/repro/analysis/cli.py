@@ -15,6 +15,13 @@ Durable sweeps (see README "Durable sweep store")::
         --shard-index 0 --shard-count 2                      # host 0 slice
     python -m repro.analysis --store runs/full --merge runs/h0 runs/h1
     python -m repro.analysis --store runs/full --list        # store contents
+
+Coordinated sweeps (see README "Distributed sweeps") replace the manual
+shard-index bookkeeping with dynamically leased work units::
+
+    python -m repro.analysis --full --store runs/full \\
+        --coordinator 0.0.0.0:8642                           # serve + merge
+    python -m repro.analysis --worker http://host:8642       # on each worker
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import List, Optional, Tuple
 from ..errors import ConfigurationError
 from ..sim.batch import TrialStore, merge_stores
 from .ablations import ABLATIONS
+from .coordinated import add_coordination_arguments, run_coordination
 from .experiments import EXPERIMENTS, SWEEPING
 
 
@@ -115,9 +123,14 @@ def main(argv: List[str] = None) -> int:
                         help="list available names and exit (with --store: "
                              "list the store's contents instead)")
     add_store_arguments(parser)
+    add_coordination_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
+        handled = run_coordination(args, args.names or sorted(EXPERIMENTS),
+                                   quick=not args.full, seed=args.seed)
+        if handled is not None:
+            return handled
         store, shard = resolve_store_arguments(args)
         handled = run_store_commands(args, store)
     except ConfigurationError as exc:

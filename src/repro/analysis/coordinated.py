@@ -1,0 +1,342 @@
+"""Coordinator/worker CLI modes shared by both experiment front ends.
+
+``python -m repro.analysis`` and ``scripts_run_experiments.py`` both
+grow three coordination flags on top of PR 4's store/shard ones:
+
+* ``--coordinator HOST:PORT`` — own the sweep: slice every requested
+  experiment's grids into ``--units`` leasable shard slices, serve the
+  lease control plane over HTTP, collect pushed shard stores into a
+  staging area, and — once every unit completes — merge and repack
+  them into ``--store`` byte-identically to a single-host run, then
+  render the tables from that store.
+* ``--worker URL`` — join a sweep: lease units, run the named driver's
+  slice into a scratch store (renewing the lease after every trial via
+  ``run_trials``'s progress hook), push the store through the chosen
+  ``--transport``, and repeat until the coordinator reports done.
+* ``--transport {http,dir}`` — how completed shard stores travel:
+  POSTed to the coordinator (default) or copied into a shared
+  directory (``--transport-dir``, the coordinator's staging area).
+
+The split of labor with :mod:`repro.sim.batch.distrib` is deliberate:
+distrib knows leases, transports, and stores but nothing about
+experiments; this module binds units to the E1–E11 drivers and to
+argparse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.batch import (
+    CoordinatorClient,
+    CoordinatorServer,
+    DirTransport,
+    HTTPTransport,
+    ReadThroughStore,
+    SweepCoordinator,
+    Transport,
+    TrialStore,
+    WorkUnit,
+    merge_pushed,
+    pushed_store_dirs,
+    run_worker,
+    wait_until_done,
+)
+from .experiments import EXPERIMENTS, SWEEPING
+
+
+def add_coordination_arguments(parser: argparse.ArgumentParser) -> None:
+    """The coordinated-sweep flags, shared by both experiment CLIs."""
+    group = parser.add_argument_group("coordinated sweeps")
+    group.add_argument(
+        "--coordinator",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the requested experiments as leasable work units on this "
+        "endpoint (port 0 picks a free port), collect worker pushes, and "
+        "merge them into --store byte-identically to a single-host run",
+    )
+    group.add_argument(
+        "--worker",
+        metavar="URL",
+        default=None,
+        help="act as a sweep worker: lease units from the coordinator at URL, "
+        "compute them into scratch stores, push results, repeat until done",
+    )
+    group.add_argument(
+        "--transport",
+        choices=("http", "dir"),
+        default="http",
+        help="how a worker ships completed shard stores back: POST to the "
+        "coordinator (http, default) or copy into a shared directory (dir)",
+    )
+    group.add_argument(
+        "--transport-dir",
+        metavar="DIR",
+        default=None,
+        help="with --transport dir: the shared directory pushes land in "
+        "(must be the coordinator's staging directory, or synced into it)",
+    )
+    group.add_argument(
+        "--units",
+        type=int,
+        default=4,
+        metavar="N",
+        help="coordinator: split every experiment's grids into N leasable "
+        "shard slices (default 4); more units = finer-grained reassignment",
+    )
+    group.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SEC",
+        help="coordinator: seconds a lease lives without renewal before its "
+        "unit is re-leased to another worker (default 60)",
+    )
+    group.add_argument(
+        "--staging",
+        metavar="DIR",
+        default=None,
+        help="coordinator: where pushed shard stores accumulate before the "
+        "merge (default: <store>.staging)",
+    )
+    group.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SEC",
+        help="worker: seconds between lease polls when no unit is available",
+    )
+    group.add_argument(
+        "--worker-id",
+        metavar="NAME",
+        default=None,
+        help="worker: stable identity for leases (default: hostname-pid)",
+    )
+    group.add_argument(
+        "--scratch",
+        metavar="DIR",
+        default=None,
+        help="worker: directory for per-unit scratch stores (default: a "
+        "fresh temporary directory)",
+    )
+    group.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="worker: sleep this long after every completed trial — a pacing "
+        "knob for demos and for tests that need a kill window",
+    )
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Split a ``HOST:PORT`` endpoint; port 0 means pick a free port."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"--coordinator expects HOST:PORT (e.g. 127.0.0.1:0), got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"--coordinator port must be an integer, got {port_text!r}"
+        ) from exc
+    if not 0 <= port < 65536:
+        raise ConfigurationError(f"--coordinator port out of range: {port}")
+    return host, port
+
+
+def experiment_units(
+    names: Sequence[str], count: int, quick: bool, seed: int
+) -> List[WorkUnit]:
+    """Leasable units: ``count`` shard slices of every sweeping driver.
+
+    Non-sweeping drivers (e07/e09/e11) produce no units — they have no
+    trial grid to slice or store, so the coordinator runs them itself
+    at render time, exactly as PR 4's shard hosts skip them.
+    """
+    if count < 1:
+        raise ConfigurationError(f"--units must be >= 1, got {count}")
+    units: List[WorkUnit] = []
+    for name in names:
+        if name not in SWEEPING:
+            continue
+        for index in range(count):
+            units.append(
+                WorkUnit.of(len(units), name, index, count, quick=quick, seed=seed)
+            )
+    if not units:
+        raise ConfigurationError(
+            f"nothing to coordinate: none of {list(names)} has a per-seed "
+            f"trial sweep (sweeping drivers: {sorted(SWEEPING)})"
+        )
+    return units
+
+
+def execute_experiment_unit(
+    unit: WorkUnit,
+    store: TrialStore,
+    progress: Callable[..., None],
+    workers: Optional[int] = None,
+) -> None:
+    """Run one unit: the named driver's ``(index, count)`` slice."""
+    driver = EXPERIMENTS.get(unit.sweep)
+    if driver is None:
+        raise ConfigurationError(
+            f"unknown sweep {unit.sweep!r}; workers only run experiment "
+            f"drivers ({sorted(EXPERIMENTS)})"
+        )
+    driver(
+        quick=bool(unit.param("quick", True)),
+        seed=int(unit.param("seed", 0)),
+        workers=workers,
+        store=store,
+        shard=(unit.index, unit.count),
+        progress=progress,
+    )
+
+
+def run_coordination(
+    args: argparse.Namespace, names: Sequence[str], quick: bool, seed: int
+) -> Optional[int]:
+    """Dispatch --coordinator/--worker; None means neither was asked for."""
+    if args.coordinator is None and args.worker is None:
+        return None
+    if args.coordinator is not None and args.worker is not None:
+        raise ConfigurationError("--coordinator and --worker are mutually exclusive")
+    if args.shard_index is not None or args.shard_count is not None:
+        raise ConfigurationError(
+            "--shard-index/--shard-count are the manual sharding flow; the "
+            "coordinator assigns slices dynamically — drop them"
+        )
+    if args.merge is not None:
+        raise ConfigurationError(
+            "--merge is the manual flow; the coordinator merges pushed "
+            "stores itself — drop it"
+        )
+    if args.worker is not None:
+        return run_worker_mode(args)
+    return run_coordinator_mode(args, names, quick, seed)
+
+
+def run_coordinator_mode(
+    args: argparse.Namespace, names: Sequence[str], quick: bool, seed: int
+) -> int:
+    """Serve units, wait for the fleet, merge, repack, render tables."""
+    if args.store is None:
+        raise ConfigurationError(
+            "--coordinator requires --store DIR: the final merged store is "
+            "the whole point of the exercise"
+        )
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment(s) for --coordinator: {unknown}; choose "
+            f"from {sorted(EXPERIMENTS)}"
+        )
+    host, port = parse_endpoint(args.coordinator)
+    units = experiment_units(names, args.units, quick, seed)
+    staging = args.staging or args.store.rstrip(os.sep) + ".staging"
+    coordinator = SweepCoordinator(units, lease_ttl=args.lease_ttl)
+    start = time.time()
+    with CoordinatorServer(coordinator, staging, host, port) as server:
+        print(f"coordinator listening on {server.url}", flush=True)
+        print(
+            f"serving {len(units)} unit(s) "
+            f"({args.units} slice(s) x {sorted({u.sweep for u in units})}), "
+            f"lease ttl {args.lease_ttl:.0f}s, staging at {staging}",
+            flush=True,
+        )
+        wait_until_done(coordinator)
+        # Merge while the server still answers /lease, so draining
+        # workers get a clean "done" instead of a connection error.
+        staging_store = TrialStore(os.path.join(staging, "_merged"))
+        pushes = pushed_store_dirs(staging)
+        stats = merge_pushed(staging, staging_store)
+        print(
+            f"merged {len(pushes)} push(es): {stats['added']} added, "
+            f"{stats['duplicate']} duplicate",
+            flush=True,
+        )
+    # Repack through a read-through layer: lookups replay in grid
+    # order, so the final store's bytes match a single-host run no
+    # matter what order worker pushes arrived in.
+    final = TrialStore(args.store)
+    layered = ReadThroughStore(final, staging_store)
+    for name in names:
+        table = EXPERIMENTS[name](
+            quick=quick, seed=seed, workers=args.workers, store=layered
+        )
+        print(table.render())
+        print()
+    status = coordinator.status()
+    print(
+        f"coordinated sweep done in {time.time() - start:.1f}s: "
+        f"units={status['completed']} reassigned={status['reassigned']} "
+        f"late={status['late']}; store {final.root} holds "
+        f"{len(final)} result(s)",
+        flush=True,
+    )
+    return 0
+
+
+def run_worker_mode(args: argparse.Namespace) -> int:
+    """Lease-execute-push-complete against a running coordinator."""
+    if getattr(args, "names", None):
+        raise ConfigurationError(
+            "--worker takes no experiment names: the coordinator decides "
+            "which sweeps this worker runs"
+        )
+    if args.store is not None:
+        raise ConfigurationError(
+            "--worker computes into per-unit scratch stores and ships them "
+            "via the transport; drop --store (use --scratch to place the "
+            "scratch stores)"
+        )
+    transport: Transport
+    if args.transport == "dir":
+        if args.transport_dir is None:
+            raise ConfigurationError(
+                "--transport dir requires --transport-dir (the coordinator's "
+                "staging directory, shared or synced)"
+            )
+        transport = DirTransport(args.transport_dir)
+    else:
+        transport = HTTPTransport(args.worker)
+    client = CoordinatorClient(args.worker)
+    scratch = args.scratch or tempfile.mkdtemp(prefix="repro-worker-")
+    worker_id = args.worker_id
+    throttle = args.throttle
+
+    def execute(unit: WorkUnit, store: TrialStore, renew: Callable[..., None]):
+        if throttle > 0:
+
+            def progress(spec, result):
+                renew()
+                time.sleep(throttle)
+
+        else:
+            progress = renew
+        execute_experiment_unit(unit, store, progress, workers=args.workers)
+
+    print(
+        f"worker polling {args.worker} (transport={args.transport}, "
+        f"scratch={scratch})",
+        flush=True,
+    )
+    stats = run_worker(
+        client, execute, transport, scratch, worker_id=worker_id, poll=args.poll
+    )
+    print(
+        f"worker done: {stats['completed']} unit(s) completed "
+        f"({stats['late']} late), {stats['idle_polls']} idle poll(s)",
+        flush=True,
+    )
+    return 0

@@ -51,10 +51,8 @@ from ..core import (
 )
 from ..core.decomposition import (
     deterministic_decomposition,
-    default_cap,
     elkin_neiman,
     kwise_decomposition,
-    measure,
     shared_randomness_decomposition,
     shattering_decomposition,
     sparse_bits_decomposition,
@@ -62,14 +60,18 @@ from ..core.decomposition import (
 )
 from ..errors import DerandomizationFailure
 from ..graphs import assign, make, random_regular
-from ..randomness import IndependentSource, KWiseSource, SparseRandomness
+from ..randomness import IndependentSource, SparseRandomness
 from ..sim.batch import TrialResult, TrialSpec, TrialStore, run_trials
-from ..sim.graph import DistributedGraph
 from .stats import log2_or_floor, success_rate, wilson_interval
 from .tables import Table
 
 #: run_trials sharding: (shard index, shard count) or None.
 Shard = Optional[Tuple[int, int]]
+
+#: run_trials per-trial completion hook (fresh computations only), or
+#: None. Coordinated workers pass a lease-renewal callback here
+#: (:mod:`repro.sim.batch.distrib`); it never changes any number.
+Progress = Optional[Callable[[TrialSpec, TrialResult], None]]
 
 
 def _logn(n: int) -> int:
@@ -112,7 +114,8 @@ def _e01_trial(spec: TrialSpec) -> TrialResult:
 def e01_sparse_bits(quick: bool = False, seed: int = 0,
                     workers: Optional[int] = None,
                     store: Optional[TrialStore] = None,
-                    shard: Shard = None) -> Table:
+                    shard: Shard = None,
+                    progress: Progress = None) -> Table:
     """Sweep the holder radius h; measure decomposition quality.
 
     Theorem 3.1 bound: O(log n) colors, h·poly(log n) diameter. The
@@ -126,7 +129,7 @@ def e01_sparse_bits(quick: bool = False, seed: int = 0,
         results = run_trials(
             _e01_trial,
             [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         outcomes = [r.ok for r in results]
         colors = [r.data["colors"] for r in results if r.ok]
         diams = [r.data["diam"] for r in results if r.ok]
@@ -173,7 +176,8 @@ def _e02_kwise_trial(spec: TrialSpec) -> TrialResult:
 def e02_kwise(quick: bool = False, seed: int = 0,
               workers: Optional[int] = None,
               store: Optional[TrialStore] = None,
-              shard: Shard = None) -> Table:
+              shard: Shard = None,
+              progress: Progress = None) -> Table:
     """Success of the EN construction as the independence k sweeps up.
 
     k = 1 is full correlation (all nodes share one radius — ties
@@ -191,14 +195,14 @@ def e02_kwise(quick: bool = False, seed: int = 0,
         _e02_ref_trial,
         [TrialSpec.of("cycle", n, t, base=seed, phases=phases, cap=cap)
          for t in range(trials)],
-        workers=workers, store=store, shard=shard)
+        workers=workers, store=store, shard=shard, progress=progress)
     ref = [r.ok for r in ref_results]
     for k in ks:
         results = run_trials(
             _e02_kwise_trial,
             [TrialSpec.of("cycle", n, t, base=seed, k=k,
                           phases=phases, cap=cap) for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         outcomes = [r.ok for r in results]
         lo, hi = wilson_interval(sum(outcomes), trials)
         rows.append({
@@ -230,7 +234,8 @@ def _e03_trial(spec: TrialSpec) -> TrialResult:
 def e03_splitting(quick: bool = False, seed: int = 0,
                   workers: Optional[int] = None,
                   store: Optional[TrialStore] = None,
-                  shard: Shard = None) -> Table:
+                  shard: Shard = None,
+                  progress: Progress = None) -> Table:
     """Zero-round splitting under the four randomness regimes."""
     num_v = 128 if quick else 512
     num_u = 64 if quick else 256
@@ -242,7 +247,7 @@ def e03_splitting(quick: bool = False, seed: int = 0,
             _e03_trial,
             [TrialSpec.of(regime, num_v, t, base=seed, num_u=num_u,
                           degree=degree) for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         outcomes = [r.ok for r in results]
         seed_bits = _last_metric(results, "seed_bits")
         lo, hi = wilson_interval(sum(outcomes), trials)
@@ -283,7 +288,8 @@ def _e04_trial(spec: TrialSpec) -> TrialResult:
 def e04_shared_congest(quick: bool = False, seed: int = 0,
                        workers: Optional[int] = None,
                        store: Optional[TrialStore] = None,
-                       shard: Shard = None) -> Table:
+                       shard: Shard = None,
+                       progress: Progress = None) -> Table:
     """Decomposition quality and seed budget of the Theorem 3.6 run."""
     sizes = (48, 96) if quick else (64, 128, 256)
     trials = 2 if quick else 5
@@ -293,7 +299,7 @@ def e04_shared_congest(quick: bool = False, seed: int = 0,
             _e04_trial,
             [TrialSpec.of("gnp-sparse", n, t, base=seed)
              for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         ok = [r.ok for r in results]
         colors = [r.data["colors"] for r in results if r.data]
         diams = [r.data["diam"] for r in results if r.data]
@@ -341,7 +347,8 @@ def _e05_trial(spec: TrialSpec) -> TrialResult:
 def e05_sparse_strong(quick: bool = False, seed: int = 0,
                       workers: Optional[int] = None,
                       store: Optional[TrialStore] = None,
-                      shard: Shard = None) -> Table:
+                      shard: Shard = None,
+                      progress: Progress = None) -> Table:
     """Theorem 3.1's diameter grows with h; Theorem 3.7's must not."""
     n = 144 if quick else 400
     trials = 2 if quick else 4
@@ -350,7 +357,7 @@ def e05_sparse_strong(quick: bool = False, seed: int = 0,
         results = run_trials(
             _e05_trial,
             [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         weak_diams = [r.data["weak"] for r in results if "weak" in r.data]
         strong_diams = [r.data["strong"] for r in results
                         if "strong" in r.data]
@@ -385,7 +392,8 @@ def _e06_trial(spec: TrialSpec) -> TrialResult:
 def e06_shattering(quick: bool = False, seed: int = 0,
                    workers: Optional[int] = None,
                    store: Optional[TrialStore] = None,
-                   shard: Shard = None) -> Table:
+                   shard: Shard = None,
+                   progress: Progress = None) -> Table:
     """Leftover-set statistics and the shattered finish.
 
     The EN stage is deliberately under-provisioned (few phases) so the
@@ -402,7 +410,7 @@ def e06_shattering(quick: bool = False, seed: int = 0,
         _e06_trial,
         [TrialSpec.of("grid", n, t, base=seed, phases=phases, cap=cap)
          for t in range(trials)],
-        workers=workers, store=store, shard=shard)
+        workers=workers, store=store, shard=shard, progress=progress)
     leftovers = [r.data["leftover"] for r in results if "leftover" in r.data]
     seps = [r.data["separated"] for r in results if "separated" in r.data]
     en_fail = sum(1 for value in leftovers if value > 0)
@@ -433,7 +441,8 @@ def e06_shattering(quick: bool = False, seed: int = 0,
 def e07_derandomize(quick: bool = False, seed: int = 0,
                     workers: Optional[int] = None,
                     store: Optional[TrialStore] = None,
-                    shard: Shard = None) -> Table:
+                    shard: Shard = None,
+                    progress: Progress = None) -> Table:
     """Seed enumeration over instance families of growing size."""
     degree = 8
     seed_bits = 10 if quick else 12
@@ -498,7 +507,8 @@ def _e08_trial(spec: TrialSpec) -> TrialResult:
 def e08_lie_about_n(quick: bool = False, seed: int = 0,
                     workers: Optional[int] = None,
                     store: Optional[TrialStore] = None,
-                    shard: Shard = None) -> Table:
+                    shard: Shard = None,
+                    progress: Progress = None) -> Table:
     """Success probability and round cost of EN parametrized for N >= n."""
     n = 64 if quick else 100
     trials = 20 if quick else 60
@@ -512,7 +522,7 @@ def e08_lie_about_n(quick: bool = False, seed: int = 0,
             _e08_trial,
             [TrialSpec.of("gnp-sparse", n, t, base=seed, phases=phases,
                           cap=cap) for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         outcomes = [r.ok for r in results]
         rounds = _last_metric(results, "rounds")
         failures = trials - sum(outcomes)
@@ -538,7 +548,8 @@ def e08_lie_about_n(quick: bool = False, seed: int = 0,
 def e09_mis_coloring(quick: bool = False, seed: int = 0,
                      workers: Optional[int] = None,
                      store: Optional[TrialStore] = None,
-                     shard: Shard = None) -> Table:
+                     shard: Shard = None,
+                     progress: Progress = None) -> Table:
     """Randomized engine algorithms vs deterministic via-decomposition."""
     sizes = (40, 80) if quick else (50, 100, 200)
     rows: List[Dict[str, object]] = []
@@ -587,7 +598,8 @@ def _e10_trial(spec: TrialSpec) -> TrialResult:
 def e10_sinkless(quick: bool = False, seed: int = 0,
                  workers: Optional[int] = None,
                  store: Optional[TrialStore] = None,
-                 shard: Shard = None) -> Table:
+                 shard: Shard = None,
+                 progress: Progress = None) -> Table:
     """Randomized fix-up convergence on d-regular graphs."""
     from ..core import randomized_orientation_engine
 
@@ -599,26 +611,30 @@ def e10_sinkless(quick: bool = False, seed: int = 0,
             _e10_trial,
             [TrialSpec.of("regular-3", n, t, base=seed)
              for t in range(trials)],
-            workers=workers, store=store, shard=shard)
+            workers=workers, store=store, shard=shard, progress=progress)
         fixups = [r.data["fixups"] for r in results if "fixups" in r.data]
         valid = [r.ok for r in results]
-        engine_valid = []
-        # One engine-measured run per size: the genuine message-passing
-        # variant of the same process (CONGEST-enforced).
-        g_engine = assign(random_regular(n, 3, seed=seed), "random",
-                          seed=seed)
-        engine_o, _res = randomized_orientation_engine(
-            g_engine, IndependentSource(seed=seed + 1))
-        engine_valid.append(is_sinkless(g_engine, engine_o))
-        det, _ = deterministic_orientation(
-            assign(random_regular(n, 3, seed=seed), "random", seed=seed))
+        engine_ok: object = "-"
+        if shard is None:
+            # One engine-measured run per size: the genuine
+            # message-passing variant of the same process
+            # (CONGEST-enforced). Not run on shard hosts: it stores
+            # nothing, so each host/worker would just repeat work the
+            # final rendering run redoes anyway.
+            g_engine = assign(random_regular(n, 3, seed=seed), "random",
+                              seed=seed)
+            engine_o, _res = randomized_orientation_engine(
+                g_engine, IndependentSource(seed=seed + 1))
+            engine_ok = is_sinkless(g_engine, engine_o)
+            deterministic_orientation(
+                assign(random_regular(n, 3, seed=seed), "random", seed=seed))
         rows.append({
             "n": n,
             "avg fix-up rounds": sum(fixups) / len(fixups) if fixups else "-",
             "max fix-up rounds": max(fixups) if fixups else "-",
             "log2 log2 n": round(math.log2(max(2, _logn(n))), 2),
             "all valid": all(valid),
-            "engine valid": all(engine_valid),
+            "engine valid": engine_ok,
         })
     return Table(
         title="E10: sinkless orientation, randomized fix-up convergence",
@@ -635,7 +651,8 @@ def e10_sinkless(quick: bool = False, seed: int = 0,
 def e11_uniform(quick: bool = False, seed: int = 0,
                 workers: Optional[int] = None,
                 store: Optional[TrialStore] = None,
-                shard: Shard = None) -> Table:
+                shard: Shard = None,
+                progress: Progress = None) -> Table:
     """Cost of uniformity: guess-and-double with local certification.
 
     A non-uniform algorithm that needs its input N >= n is made uniform
@@ -706,7 +723,8 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
 def run_all(quick: bool = True, seed: int = 0,
             workers: Optional[int] = None,
             store: Optional[TrialStore] = None,
-            shard: Shard = None) -> List[Table]:
+            shard: Shard = None,
+            progress: Progress = None) -> List[Table]:
     """Run every experiment; returns the tables in order.
 
     ``workers`` fans each experiment's seed sweep across processes via
@@ -715,11 +733,12 @@ def run_all(quick: bool = True, seed: int = 0,
     module docstring). In shard mode only the :data:`SWEEPING` drivers
     run (and are returned): the others have no trials to slice or
     store, so executing them per shard host would be duplicated work
-    discarded on merge.
+    discarded on merge. ``progress`` is handed to every ``run_trials``
+    call (see the module docstring).
     """
     names = sorted(EXPERIMENTS)
     if shard is not None:
         names = [name for name in names if name in SWEEPING]
     return [EXPERIMENTS[name](quick=quick, seed=seed, workers=workers,
-                              store=store, shard=shard)
+                              store=store, shard=shard, progress=progress)
             for name in names]

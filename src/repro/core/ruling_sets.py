@@ -146,7 +146,7 @@ def ruling_set_via_mis(graph: DistributedGraph, alpha: int,
     from .mis import luby_mis
 
     if alpha < 2:
-        raise ConfigurationError(f"alpha must be >= 2 for the MIS route")
+        raise ConfigurationError("alpha must be >= 2 for the MIS route")
     if source is None:
         from ..randomness.independent import IndependentSource
 

@@ -23,7 +23,6 @@ paper's derandomization statements cash out.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
 
 import networkx as nx
 

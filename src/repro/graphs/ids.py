@@ -40,7 +40,6 @@ def adversarial_path_ids(graph: nx.Graph) -> DistributedGraph:
     to a long sequential chain on such assignments; useful for showing
     why ID-based symmetry breaking costs locality.
     """
-    n = graph.number_of_nodes()
     start = min(graph.nodes(), key=repr)
     order = list(nx.bfs_tree(graph, start).nodes())
     remaining = [v for v in graph.nodes() if v not in set(order)]

@@ -12,6 +12,21 @@ Python dispatch at all (:class:`ArrayEngine` running
 
 from .array import ArrayContext, ArrayEngine, ArrayProgram, Sends
 from .csr import CSRGraph, ensure_csr
+from .distrib import (
+    CoordinatorClient,
+    CoordinatorServer,
+    CoordinatorUnavailable,
+    DirTransport,
+    HTTPTransport,
+    LeaseReply,
+    SweepCoordinator,
+    Transport,
+    WorkUnit,
+    merge_pushed,
+    pushed_store_dirs,
+    run_worker,
+    wait_until_done,
+)
 from .fast_engine import FastEngine, run_program_fast
 from .tasks import bfs_forest_trial, flood_min_trial, luby_mis_trial
 from .runner import (
@@ -26,6 +41,7 @@ from .runner import (
 )
 from .store import (
     RESULT_FORMAT_VERSION,
+    ReadThroughStore,
     TrialStore,
     canonical_spec,
     merge_stores,
@@ -37,12 +53,22 @@ __all__ = [
     "ArrayEngine",
     "ArrayProgram",
     "CSRGraph",
+    "CoordinatorClient",
+    "CoordinatorServer",
+    "CoordinatorUnavailable",
+    "DirTransport",
     "FastEngine",
+    "HTTPTransport",
+    "LeaseReply",
     "RESULT_FORMAT_VERSION",
+    "ReadThroughStore",
     "Sends",
+    "SweepCoordinator",
+    "Transport",
     "TrialResult",
     "TrialSpec",
     "TrialStore",
+    "WorkUnit",
     "aggregate",
     "bfs_forest_trial",
     "canonical_spec",
@@ -51,10 +77,14 @@ __all__ = [
     "flood_min_trial",
     "grid",
     "luby_mis_trial",
+    "merge_pushed",
     "merge_stores",
+    "pushed_store_dirs",
     "resolve_workers",
     "run_program_fast",
     "run_trials",
+    "run_worker",
     "shard",
     "spec_key",
+    "wait_until_done",
 ]

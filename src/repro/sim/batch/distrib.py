@@ -1,0 +1,694 @@
+"""Dynamic sweep coordination: leased work units and shard-store transports.
+
+PR 4's cross-host sharding required a human scheduler: pick a shard
+count, assign each host its index, copy the stores to one machine,
+merge. This module removes the human. A :class:`SweepCoordinator` owns
+the grid as a list of :class:`WorkUnit`\\ s (shard slices of named
+sweeps) and leases them to workers dynamically: a worker that dies
+simply stops renewing, its lease expires, and the unit is re-leased to
+whoever asks next. Completed shard :class:`~repro.sim.batch.store.
+TrialStore`\\ s travel back through a :class:`Transport` —
+:class:`DirTransport` (a shared or copied directory, subsuming the old
+manual flow) or :class:`HTTPTransport` (stdlib ``urllib`` pushing to
+the coordinator's stdlib ``http.server`` control plane; no new
+dependencies).
+
+Determinism is inherited, not re-proven: every unit is a deterministic
+grid slice (``index::count``), every record is content-addressed, so
+duplicate work from expired-then-completed leases dedupes under
+``merge_stores``'s identical-record rule, and a final replay through a
+:class:`~repro.sim.batch.store.ReadThroughStore` repacks the merged
+records into a store byte-identical to the single-host run — whatever
+mix of workers, leases, retries, and transports produced them.
+
+The control plane is deliberately tiny — five JSON-over-HTTP verbs
+(``lease``, ``renew``, ``complete``, ``release``, ``push``) plus a
+``status`` probe — and :class:`SweepCoordinator` itself is pure
+in-memory state with an injectable clock, so lease semantics are unit
+testable with no sockets or subprocesses (``tests/test_distrib.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import shutil
+import socket
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from .store import TrialStore, merge_stores
+
+#: Lease lifetime (seconds) when the caller does not choose one.
+DEFAULT_LEASE_TTL = 60.0
+
+
+class CoordinatorUnavailable(ConfigurationError):
+    """The coordinator endpoint cannot be reached (it likely exited)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One leasable slice of a sweep: shard ``index`` of ``count``.
+
+    ``sweep`` names what to run (an experiment name, or any key the
+    executor understands); ``payload`` carries run knobs (profile,
+    seed) as sorted pairs so the JSON wire form is canonical.
+    """
+
+    unit_id: int
+    sweep: str
+    index: int
+    count: int
+    payload: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        canonical = tuple(
+            sorted((tuple(pair) for pair in self.payload), key=lambda p: p[0])
+        )
+        object.__setattr__(self, "payload", canonical)
+
+    @classmethod
+    def of(cls, unit_id: int, sweep: str, index: int, count: int, **payload: Any):
+        return cls(unit_id, sweep, index, count, tuple(payload.items()))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.payload:
+            if key == name:
+                return value
+        return default
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "unit_id": self.unit_id,
+            "sweep": self.sweep,
+            "index": self.index,
+            "count": self.count,
+            "payload": [[key, value] for key, value in self.payload],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "WorkUnit":
+        return cls(
+            int(data["unit_id"]),
+            str(data["sweep"]),
+            int(data["index"]),
+            int(data["count"]),
+            tuple((pair[0], pair[1]) for pair in data.get("payload", ())),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaseReply:
+    """What a lease request came back with.
+
+    ``unit is None`` means nothing is available right now; ``done``
+    distinguishes "the sweep is finished, go home" from "every unit is
+    leased out, poll again".
+    """
+
+    unit: Optional[WorkUnit]
+    attempt: int = 0
+    done: bool = False
+
+
+_PENDING = "pending"
+_LEASED = "leased"
+_COMPLETED = "completed"
+
+
+class SweepCoordinator:
+    """In-memory lease manager for a fixed set of work units.
+
+    Thread safe (the HTTP control plane calls in from handler threads).
+    Expiry is lazy — every lease/renew/complete/status call first
+    requeues any lease whose deadline has passed — plus an explicit
+    :meth:`expire` for the coordinator's own wait loop. The ``clock``
+    is injectable so lease semantics are testable without sleeping.
+
+    A late completion (the lease expired, possibly re-leased, but the
+    original worker's results still arrived) is accepted and counted in
+    ``late``: the work is deterministic, so late results are as good as
+    on-time ones, and any double-computed records dedupe at merge time
+    under the store's identical-record rule.
+    """
+
+    def __init__(
+        self,
+        units: Sequence[WorkUnit],
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        units = list(units)
+        if not units:
+            raise ConfigurationError("a coordinator needs at least one work unit")
+        if lease_ttl <= 0:
+            raise ConfigurationError(f"lease_ttl must be > 0, got {lease_ttl}")
+        ids = [unit.unit_id for unit in units]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate unit ids in {sorted(ids)}")
+        self.lease_ttl = float(lease_ttl)
+        self._clock = clock
+        self._units = {unit.unit_id: unit for unit in units}
+        self._state = {unit.unit_id: _PENDING for unit in units}
+        self._worker: Dict[int, str] = {}
+        self._deadline: Dict[int, float] = {}
+        self._attempts = {unit.unit_id: 0 for unit in units}
+        self._completed_by: Dict[int, str] = {}
+        self.reassigned = 0
+        self.late = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # control-plane verbs
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str) -> LeaseReply:
+        """Hand out the lowest-id pending unit, or report done/busy."""
+        with self._lock:
+            self._expire_locked()
+            for unit_id in sorted(self._units):
+                if self._state[unit_id] != _PENDING:
+                    continue
+                self._state[unit_id] = _LEASED
+                self._worker[unit_id] = worker_id
+                self._deadline[unit_id] = self._clock() + self.lease_ttl
+                self._attempts[unit_id] += 1
+                return LeaseReply(self._units[unit_id], self._attempts[unit_id])
+            return LeaseReply(None, 0, self._done_locked())
+
+    def renew(self, worker_id: str, unit_id: int) -> bool:
+        """Extend a held lease; False if it already expired or moved on."""
+        with self._lock:
+            self._expire_locked()
+            if self._state.get(unit_id) != _LEASED:
+                return False
+            if self._worker.get(unit_id) != worker_id:
+                return False
+            self._deadline[unit_id] = self._clock() + self.lease_ttl
+            return True
+
+    def complete(self, worker_id: str, unit_id: int) -> str:
+        """Record a finished unit: "completed", "late", or "duplicate"."""
+        with self._lock:
+            self._expire_locked()
+            if unit_id not in self._units:
+                raise ConfigurationError(f"unknown unit id {unit_id}")
+            state = self._state[unit_id]
+            if state == _COMPLETED:
+                return "duplicate"
+            holder = self._worker.get(unit_id)
+            self._state[unit_id] = _COMPLETED
+            self._completed_by[unit_id] = worker_id
+            self._worker.pop(unit_id, None)
+            self._deadline.pop(unit_id, None)
+            if state == _LEASED and holder == worker_id:
+                return "completed"
+            self.late += 1
+            return "late"
+
+    def release(self, worker_id: str, unit_id: int) -> bool:
+        """Voluntarily return a held lease to the pending pool."""
+        with self._lock:
+            self._expire_locked()
+            if self._state.get(unit_id) != _LEASED:
+                return False
+            if self._worker.get(unit_id) != worker_id:
+                return False
+            self._state[unit_id] = _PENDING
+            self._worker.pop(unit_id, None)
+            self._deadline.pop(unit_id, None)
+            return True
+
+    def expire(self) -> List[int]:
+        """Requeue every overdue lease; returns the requeued unit ids."""
+        with self._lock:
+            return self._expire_locked()
+
+    def _expire_locked(self) -> List[int]:
+        now = self._clock()
+        requeued = []
+        for unit_id, state in self._state.items():
+            if state == _LEASED and self._deadline[unit_id] <= now:
+                self._state[unit_id] = _PENDING
+                self._worker.pop(unit_id, None)
+                self._deadline.pop(unit_id, None)
+                self.reassigned += 1
+                requeued.append(unit_id)
+        return requeued
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done_locked()
+
+    def _done_locked(self) -> bool:
+        return all(state == _COMPLETED for state in self._state.values())
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot (the ``GET /status`` body)."""
+        with self._lock:
+            self._expire_locked()
+            now = self._clock()
+            counts = {_PENDING: 0, _LEASED: 0, _COMPLETED: 0}
+            for state in self._state.values():
+                counts[state] += 1
+            leases = {
+                str(unit_id): {
+                    "worker": self._worker[unit_id],
+                    "expires_in": round(self._deadline[unit_id] - now, 3),
+                    "attempt": self._attempts[unit_id],
+                }
+                for unit_id, state in self._state.items()
+                if state == _LEASED
+            }
+            return {
+                "total": len(self._units),
+                "pending": counts[_PENDING],
+                "leased": counts[_LEASED],
+                "completed": counts[_COMPLETED],
+                "reassigned": self.reassigned,
+                "late": self.late,
+                "leases": leases,
+                "done": self._done_locked(),
+            }
+
+
+# ----------------------------------------------------------------------
+# transports: moving a completed shard store to the coordinator
+# ----------------------------------------------------------------------
+def _safe_push_name(name: str) -> str:
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name) or "push"
+    if safe.startswith(("_", ".")):
+        # Leading "_"/"." names are reserved for the staging area's own
+        # bookkeeping (e.g. the "_merged" store) and hidden tmp dirs.
+        safe = "p" + safe
+    return safe
+
+
+def _store_files(store_root: str) -> Dict[str, str]:
+    """Every file under ``store_root`` as posix relpath -> text."""
+    files = {}
+    for dirpath, _dirs, names in os.walk(store_root):
+        for name in sorted(names):
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, store_root).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as handle:
+                files[rel] = handle.read()
+    return files
+
+
+def write_pushed_store(staging_root: str, name: str, files: Dict[str, str]) -> str:
+    """Materialize one pushed store under ``staging_root`` atomically.
+
+    The server side of a push, shared by both transports' receive
+    paths. The store appears under its (sanitized) push name via a
+    tmp-dir rename, so a half-written push is never visible; if the
+    name already exists the first push wins — push names are unique per
+    attempt, so a collision is a retried identical payload.
+    """
+    os.makedirs(staging_root, exist_ok=True)
+    dest = os.path.join(staging_root, _safe_push_name(name))
+    tmp = tempfile.mkdtemp(prefix=".push-", dir=staging_root)
+    try:
+        for rel, text in files.items():
+            parts = rel.split("/")
+            if any(part in ("", ".", "..") for part in parts):
+                raise ConfigurationError(f"illegal path {rel!r} in pushed store")
+            path = os.path.join(tmp, *parts)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        try:
+            os.rename(tmp, dest)
+        except OSError:
+            if not os.path.isdir(dest):
+                raise
+            shutil.rmtree(tmp)  # duplicate push: keep the first copy
+    except Exception:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return dest
+
+
+def pushed_store_dirs(staging_root: str) -> List[str]:
+    """The store directories pushed so far, in sorted (merge) order."""
+    if not os.path.isdir(staging_root):
+        return []
+    dirs = []
+    for name in sorted(os.listdir(staging_root)):
+        if name.startswith(("_", ".")):
+            continue
+        path = os.path.join(staging_root, name)
+        if os.path.isdir(os.path.join(path, "shards")):
+            dirs.append(path)
+    return dirs
+
+
+def merge_pushed(staging_root: str, dest: TrialStore) -> Dict[str, int]:
+    """Merge every pushed store into ``dest`` (empty staging -> no-op)."""
+    dirs = pushed_store_dirs(staging_root)
+    if not dirs:
+        return {"added": 0, "duplicate": 0}
+    return merge_stores(dest, dirs)
+
+
+class Transport:
+    """Ships a completed shard store to the coordinator's staging area.
+
+    Implementations must be idempotent per ``name``: pushing the same
+    name twice (a retry) must leave one copy. Byte-level dedup of
+    overlapping *records* across different pushes is not the
+    transport's job — ``merge_stores`` handles that.
+    """
+
+    name = "?"
+
+    def push(self, store_root: str, name: str) -> str:
+        """Deliver the store rooted at ``store_root``; returns a label."""
+        raise NotImplementedError
+
+
+class DirTransport(Transport):
+    """Push = copy the store directory into a shared/collected root.
+
+    Subsumes PR 4's manual flow (scp/rsync the store dirs to one host):
+    point workers and coordinator at the same ``root`` — a shared
+    filesystem, or a directory someone syncs — and pushes land as
+    uniquely named store dirs the coordinator merges.
+    """
+
+    name = "dir"
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def push(self, store_root: str, name: str) -> str:
+        return write_pushed_store(self.root, name, _store_files(store_root))
+
+
+class HTTPTransport(Transport):
+    """Push = POST the store's files to the coordinator's control plane."""
+
+    name = "http"
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def push(self, store_root: str, name: str) -> str:
+        body = json.dumps({"files": _store_files(store_root)}).encode("utf-8")
+        url = f"{self.base_url}/push?name={urllib.parse.quote(name)}"
+        reply = _http_json(url, body, self.timeout)
+        return str(reply["stored"])
+
+
+def _http_json(url: str, body: Optional[bytes], timeout: float) -> Dict[str, Any]:
+    """One JSON request/response round trip, errors normalized."""
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST" if body is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")[:500]
+        raise ConfigurationError(
+            f"coordinator rejected {url}: HTTP {exc.code} {detail}"
+        ) from exc
+    except (urllib.error.URLError, ConnectionError, socket.timeout) as exc:
+        raise CoordinatorUnavailable(
+            f"coordinator unreachable at {url}: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# the HTTP control plane
+# ----------------------------------------------------------------------
+class _ControlHandler(BaseHTTPRequestHandler):
+    server_version = "SweepCoordinator/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the coordinator CLI prints its own, quieter progress
+
+    def _reply(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if urllib.parse.urlparse(self.path).path == "/status":
+            self._reply(200, self.server.coordinator.status())
+        else:
+            self._reply(404, {"error": f"unknown endpoint {self.path}"})
+
+    def do_POST(self) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            self._reply(200, self._dispatch(parsed, payload))
+        except ConfigurationError as exc:
+            self._reply(400, {"error": str(exc)})
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc!r}"})
+
+    def _dispatch(
+        self, parsed: urllib.parse.ParseResult, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        coordinator = self.server.coordinator
+        if parsed.path == "/lease":
+            reply = coordinator.lease(str(payload["worker"]))
+            return {
+                "unit": reply.unit.to_json() if reply.unit else None,
+                "attempt": reply.attempt,
+                "done": reply.done,
+            }
+        if parsed.path == "/renew":
+            worker, unit = str(payload["worker"]), int(payload["unit"])
+            return {"ok": coordinator.renew(worker, unit)}
+        if parsed.path == "/complete":
+            worker, unit = str(payload["worker"]), int(payload["unit"])
+            return {"status": coordinator.complete(worker, unit)}
+        if parsed.path == "/release":
+            worker, unit = str(payload["worker"]), int(payload["unit"])
+            return {"ok": coordinator.release(worker, unit)}
+        if parsed.path == "/push":
+            query = urllib.parse.parse_qs(parsed.query)
+            name = query.get("name", ["push"])[0]
+            files = payload["files"]
+            if not isinstance(files, dict):
+                raise ConfigurationError("push body must carry a files mapping")
+            dest = write_pushed_store(self.server.staging_root, name, files)
+            return {"stored": os.path.basename(dest)}
+        raise ConfigurationError(f"unknown endpoint {parsed.path}")
+
+
+class CoordinatorServer:
+    """The coordinator's HTTP face: control plane + push receiver.
+
+    Serves a :class:`SweepCoordinator` on ``host:port`` (port 0 = pick
+    a free one) from a daemon thread; HTTP pushes land as store dirs
+    under ``staging_root``. Use as a context manager.
+    """
+
+    def __init__(
+        self,
+        coordinator: SweepCoordinator,
+        staging_root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _ControlHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.coordinator = coordinator
+        self._httpd.staging_root = os.fspath(staging_root)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CoordinatorServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="sweep-coordinator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+class CoordinatorClient:
+    """Worker-side control plane client (urllib, JSON verbs).
+
+    Mirrors :class:`SweepCoordinator`'s lease/renew/complete/release
+    surface so :func:`run_worker` can drive either one directly (an
+    in-process coordinator) or a remote coordinator over HTTP.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8")
+        return _http_json(f"{self.base_url}{path}", body, self.timeout)
+
+    def lease(self, worker_id: str) -> LeaseReply:
+        reply = self._post("/lease", {"worker": worker_id})
+        unit = reply.get("unit")
+        return LeaseReply(
+            WorkUnit.from_json(unit) if unit else None,
+            int(reply.get("attempt", 0)),
+            bool(reply.get("done", False)),
+        )
+
+    def renew(self, worker_id: str, unit_id: int) -> bool:
+        return bool(self._post("/renew", {"worker": worker_id, "unit": unit_id})["ok"])
+
+    def complete(self, worker_id: str, unit_id: int) -> str:
+        reply = self._post("/complete", {"worker": worker_id, "unit": unit_id})
+        return str(reply["status"])
+
+    def release(self, worker_id: str, unit_id: int) -> bool:
+        reply = self._post("/release", {"worker": worker_id, "unit": unit_id})
+        return bool(reply["ok"])
+
+    def status(self) -> Dict[str, Any]:
+        return _http_json(f"{self.base_url}/status", None, self.timeout)
+
+
+# ----------------------------------------------------------------------
+# the worker loop
+# ----------------------------------------------------------------------
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    control: Any,
+    execute: Callable[[WorkUnit, TrialStore, Callable[..., None]], Any],
+    transport: Transport,
+    scratch: str,
+    worker_id: Optional[str] = None,
+    poll: float = 0.5,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, int]:
+    """Lease, execute, push, complete — until the coordinator says done.
+
+    ``control`` is anything with the coordinator's lease/renew/complete/
+    release verbs (a :class:`SweepCoordinator` in-process, or a
+    :class:`CoordinatorClient` over HTTP). ``execute(unit, store,
+    renew)`` must run the unit's slice into ``store``, calling ``renew``
+    as it makes progress (hang it off ``run_trials``'s per-trial
+    ``progress`` hook) so long units outlive their lease TTL. Each
+    attempt gets a fresh store under ``scratch`` and a unique push
+    name, so retried units never contaminate earlier payloads.
+
+    A failing ``execute`` releases the lease (letting another worker
+    take over immediately) and re-raises. A coordinator that stops
+    answering ends the loop — by then it has either finished or died,
+    and idling forever helps neither case.
+    """
+    worker_id = worker_id or default_worker_id()
+    os.makedirs(scratch, exist_ok=True)
+    stats = {"completed": 0, "late": 0, "idle_polls": 0}
+    while True:
+        try:
+            reply = control.lease(worker_id)
+        except CoordinatorUnavailable:
+            break
+        if reply.unit is None:
+            if reply.done:
+                break
+            stats["idle_polls"] += 1
+            sleep(poll)
+            continue
+        unit, attempt = reply.unit, reply.attempt
+        store_root = os.path.join(scratch, f"u{unit.unit_id:04d}-a{attempt:02d}")
+        store = TrialStore(store_root)
+
+        def renew(*_ignored: Any) -> None:
+            try:
+                control.renew(worker_id, unit.unit_id)
+            except CoordinatorUnavailable:
+                pass  # the push/complete below will surface the outage
+
+        try:
+            execute(unit, store, renew)
+            store.close()
+            push_name = f"u{unit.unit_id:04d}-a{attempt:02d}-{worker_id}"
+            transport.push(store_root, push_name)
+        except BaseException:
+            # Both a failed compute and a failed push strand the unit
+            # otherwise: release it so another worker takes over now
+            # rather than after TTL expiry.
+            store.close()
+            try:
+                control.release(worker_id, unit.unit_id)
+            except CoordinatorUnavailable:
+                pass
+            raise
+        try:
+            verdict = control.complete(worker_id, unit.unit_id)
+        except CoordinatorUnavailable:
+            break
+        stats["completed"] += 1
+        if verdict == "late":
+            stats["late"] += 1
+    return stats
+
+
+def wait_until_done(
+    coordinator: SweepCoordinator,
+    poll: float = 0.2,
+    sleep: Callable[[float], None] = time.sleep,
+    timeout: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> None:
+    """Block until every unit completes, expiring stale leases as we go.
+
+    Workers trigger lazy expiry through their own lease polls, but a
+    coordinator whose last worker died would otherwise never notice;
+    this loop is that heartbeat. ``timeout`` (seconds) turns a stalled
+    fleet into a loud error instead of an eternal hang.
+    """
+    deadline = None if timeout is None else clock() + timeout
+    while not coordinator.done:
+        coordinator.expire()
+        if deadline is not None and clock() > deadline:
+            raise ConfigurationError(
+                f"sweep did not complete within {timeout}s: "
+                f"{coordinator.status()!r}"
+            )
+        sleep(poll)

@@ -26,6 +26,12 @@ from ...errors import ConfigurationError
 #: Environment knob consulted when an API's ``workers`` is None.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Per-trial completion callback: called as ``progress(spec, result)``
+#: after each *freshly computed* trial (never for cache hits), in grid
+#: order. Distributed workers use it to renew their lease mid-unit
+#: (:mod:`repro.sim.batch.distrib`); it must not affect results.
+Progress = Callable[["TrialSpec", "TrialResult"], None]
+
 
 @dataclasses.dataclass(frozen=True)
 class TrialSpec:
@@ -136,9 +142,23 @@ def shard(specs: Sequence[TrialSpec], index: int, count: int) -> List[TrialSpec]
     run ``shard(specs, i, count)`` into their own store and the merged
     stores cover the grid exactly once (see
     :func:`repro.sim.batch.store.merge_stores`).
+
+    ``count`` must not exceed ``len(specs)``: a larger count would leave
+    at least one slice empty, which almost always means a mis-sized
+    fleet (hosts idling while others work), so it is rejected loudly.
+    Note ``run_trials(shard=...)`` deliberately does *not* enforce this
+    — one shard pair there applies to every grid inside a driver, and
+    grids smaller than the host count are legitimately left with empty
+    slices on some hosts.
     """
     check_shard(index, count)
-    return list(specs)[index::count]
+    specs = list(specs)
+    if count > len(specs):
+        raise ConfigurationError(
+            f"shard count {count} exceeds the grid: {len(specs)} spec(s) "
+            f"cannot give every slice at least one spec — use a smaller "
+            f"count or a larger grid")
+    return specs[index::count]
 
 
 def task_name_of(task: Callable[..., Any], task_name: Optional[str]) -> str:
@@ -156,7 +176,8 @@ def run_trials(task: Callable[[TrialSpec], TrialResult],
                chunksize: Optional[int] = None,
                store: Optional[Any] = None,
                task_name: Optional[str] = None,
-               shard: Optional[Tuple[int, int]] = None) -> List[TrialResult]:
+               shard: Optional[Tuple[int, int]] = None,
+               progress: Optional[Progress] = None) -> List[TrialResult]:
     """Map ``task`` over ``specs``, fanning across processes.
 
     Results are returned in ``specs`` order. With ``workers=1`` (the
@@ -178,6 +199,12 @@ def run_trials(task: Callable[[TrialSpec], TrialResult],
     (``index::count``); positions owned by other shards that are not
     already cached come back as placeholder results (``ok=False``,
     empty ``data``) and are never written to the store.
+
+    ``progress`` is called as ``progress(spec, result)`` after each
+    freshly computed trial, in grid order — never for cache hits, and
+    after the store append when a store is in play, so a progress
+    signal always refers to durable work. Distributed workers hang
+    lease renewal off it (:mod:`repro.sim.batch.distrib`).
     """
     specs = list(specs)
     if shard is not None:
@@ -190,11 +217,24 @@ def run_trials(task: Callable[[TrialSpec], TrialResult],
     if store is None:
         workers = min(resolve_workers(workers), max(1, len(specs)))
         if workers == 1 or len(specs) <= 1:
-            return [task(spec) for spec in specs]
+            results = []
+            for spec in specs:
+                result = task(spec)
+                if progress is not None:
+                    progress(spec, result)
+                results.append(result)
+            return results
         size = (default_chunksize(len(specs), workers)
                 if chunksize is None else max(1, chunksize))
         with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(task, specs, chunksize=size)
+            if progress is None:
+                return pool.map(task, specs, chunksize=size)
+            results = []
+            for spec, result in zip(specs, pool.imap(task, specs,
+                                                     chunksize=size)):
+                progress(spec, result)
+                results.append(result)
+            return results
 
     name = task_name_of(task, task_name)
     # Validate up front: a bad workers value must fail on a warm cache
@@ -221,6 +261,8 @@ def run_trials(task: Callable[[TrialSpec], TrialResult],
             for spec in to_run:
                 result = task(spec)
                 store.put(name, spec, result)
+                if progress is not None:
+                    progress(spec, result)
                 for i in positions[spec]:
                     results[i] = result
         else:
@@ -234,6 +276,8 @@ def run_trials(task: Callable[[TrialSpec], TrialResult],
                                         pool.imap(task, to_run,
                                                   chunksize=size)):
                     store.put(name, spec, result)
+                    if progress is not None:
+                        progress(spec, result)
                     for i in positions[spec]:
                         results[i] = result
     done: List[TrialResult] = []

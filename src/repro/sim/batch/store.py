@@ -215,7 +215,7 @@ class TrialStore:
             self._handles[path] = handle
         return handle
 
-    def _append(self, record: Dict[str, Any]) -> None:
+    def _append(self, record: Dict[str, Any], write_index: bool = True) -> None:
         handle = self._handle_for(record["task"])
         handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         handle.flush()
@@ -224,7 +224,8 @@ class TrialStore:
         self._order.append(record["key"])
         task = record["task"]
         self._counts[task] = self._counts.get(task, 0) + 1
-        self._write_index()
+        if write_index:
+            self._write_index()
 
     def _write_index(self) -> None:
         index = {
@@ -278,6 +279,42 @@ class TrialStore:
         self.close()
 
 
+class ReadThroughStore:
+    """A layered store: misses in ``primary`` fall back to ``fallback``.
+
+    Speaks the same ``get``/``put`` cache protocol ``run_trials`` uses,
+    so it can stand anywhere a :class:`TrialStore` does. A fallback hit
+    is copied forward into ``primary`` at lookup time — and because
+    encoding is deterministic and lookups happen in grid order, a sweep
+    replayed through a read-through layer writes ``primary`` with
+    exactly the bytes a single-host run would have written. That repack
+    is how the sweep coordinator (:mod:`repro.sim.batch.distrib`) turns
+    an arbitrarily-ordered merge of worker shard stores into a final
+    store byte-identical to the unsharded baseline.
+
+    ``fallback`` is never written to.
+    """
+
+    def __init__(self, primary: TrialStore, fallback: TrialStore) -> None:
+        self.primary = primary
+        self.fallback = fallback
+
+    def get(self, task_name: str, spec: TrialSpec) -> Optional[TrialResult]:
+        result = self.primary.get(task_name, spec)
+        if result is None:
+            result = self.fallback.get(task_name, spec)
+            if result is not None:
+                self.primary.put(task_name, spec, result)
+        return result
+
+    def put(self, task_name: str, spec: TrialSpec,
+            result: TrialResult) -> None:
+        self.primary.put(task_name, spec, result)
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+
 def merge_stores(dest: TrialStore,
                  sources: Iterable[Union[TrialStore, str, os.PathLike]],
                  ) -> Dict[str, int]:
@@ -290,7 +327,17 @@ def merge_stores(dest: TrialStore,
     trial) are skipped, conflicting ones raise — a conflict means two
     stores disagree about a deterministic computation, which is a bug
     worth stopping for, not papering over.
+
+    An empty source list is rejected: a merge of nothing would report
+    success while leaving ``dest`` unchanged, which in every observed
+    case meant a glob or worker fleet produced no stores — an error the
+    caller needs to hear about, not a no-op.
     """
+    sources = list(sources)
+    if not sources:
+        raise ConfigurationError(
+            "merge_stores needs at least one source store; an empty "
+            "merge would silently leave the destination unchanged")
     stats = {"added": 0, "duplicate": 0}
     for source in sources:
         if isinstance(source, TrialStore):
@@ -307,7 +354,11 @@ def merge_stores(dest: TrialStore,
         for record in src.records():
             existing = dest._records.get(record["key"])
             if existing is None:
-                dest._append(record)
+                # Index writes are batched below: one rewrite per merge,
+                # not per record. The index is a derived summary (loads
+                # scan the shard files), so a crash mid-merge leaves it
+                # stale but never wrong to resume from.
+                dest._append(record, write_index=False)
                 stats["added"] += 1
             elif existing == record:
                 stats["duplicate"] += 1
@@ -317,4 +368,6 @@ def merge_stores(dest: TrialStore,
                     f"(task {record.get('task')!r}) while merging "
                     f"{getattr(src, 'root', source)!r}: stored "
                     f"{existing!r} vs incoming {record!r}")
+    if stats["added"]:
+        dest._write_index()
     return stats

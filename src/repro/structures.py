@@ -10,7 +10,7 @@ bound and whose overlaps define the congestion.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 

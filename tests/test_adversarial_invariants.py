@@ -20,7 +20,7 @@ from repro.errors import (
     ModelViolation,
     RandomnessExhausted,
 )
-from repro.graphs import assign, make
+from repro.graphs import make
 from repro.randomness import IndependentSource, SparseRandomness
 from repro.randomness.pooled import PooledBits
 

@@ -18,7 +18,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from helpers import FAMILY_NAMES, family_graphs
+from helpers import FAMILY_NAMES
 from repro.core.mis import ArrayLubyMIS, LubyMIS, is_valid_mis, luby_mis
 from repro.errors import (
     BandwidthExceeded,

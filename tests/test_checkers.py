@@ -1,6 +1,5 @@
 """Local checkers: soundness (reject broken) and completeness (accept valid)."""
 
-import pytest
 
 from repro.checkers import (
     ColoringChecker,
@@ -16,7 +15,7 @@ from repro.core.decomposition import deterministic_decomposition
 from repro.core.mis import mis_via_decomposition
 from repro.core.ruling_sets import greedy_ruling_set
 from repro.core.sinkless import deterministic_orientation
-from repro.graphs import assign, make, random_regular
+from repro.graphs import assign, random_regular
 from repro.sim.graph import DistributedGraph
 
 

@@ -1,0 +1,566 @@
+"""The sweep coordinator: leases, transports, and byte-identical merges.
+
+The load-bearing guarantees, each pinned here without subprocesses:
+
+* a lease that expires (worker death) is re-leased exactly once, to the
+  next worker that asks — never handed out twice concurrently;
+* duplicate results from a late (expired-then-completed) worker dedupe
+  under the store's identical-record merge rule;
+* a coordinated run — any worker mix, any push order, either
+  transport — merges and repacks to a store byte-identical to the
+  single-host run (``scripts_coordinated_smoke.py`` re-proves this
+  with real SIGKILLed subprocesses in CI).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.batch import (
+    CoordinatorClient,
+    CoordinatorServer,
+    CoordinatorUnavailable,
+    DirTransport,
+    HTTPTransport,
+    ReadThroughStore,
+    SweepCoordinator,
+    Transport,
+    TrialResult,
+    TrialSpec,
+    TrialStore,
+    WorkUnit,
+    flood_min_trial,
+    grid,
+    merge_pushed,
+    merge_stores,
+    pushed_store_dirs,
+    run_trials,
+    run_worker,
+    wait_until_done,
+)
+from repro.sim.batch.distrib import write_pushed_store
+
+FLOOD_TASK_NAME = "repro.sim.batch.tasks.flood_min_trial"
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _units(count: int, sweep: str = "s") -> list:
+    return [WorkUnit.of(i, sweep, i, count, quick=True) for i in range(count)]
+
+
+def _probe_task(spec: TrialSpec) -> TrialResult:
+    return TrialResult(spec, True, {"value": spec.seed * 3, "family": spec.family})
+
+
+def _poison_task(spec: TrialSpec) -> TrialResult:
+    raise AssertionError(f"task executed for {spec} despite a full cache")
+
+
+def _store_bytes(root: str) -> dict:
+    contents = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for name in files:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as handle:
+                contents[os.path.relpath(path, root)] = handle.read()
+    return contents
+
+
+class TestWorkUnit:
+    def test_payload_is_canonicalized(self):
+        direct = WorkUnit(0, "s", 0, 2, (("zeta", 1), ("alpha", 2)))
+        via_of = WorkUnit.of(0, "s", 0, 2, zeta=1, alpha=2)
+        assert direct == via_of
+        assert direct.payload == (("alpha", 2), ("zeta", 1))
+        assert direct.param("zeta") == 1
+        assert direct.param("missing", "d") == "d"
+
+    def test_json_round_trip(self):
+        unit = WorkUnit.of(3, "e06", 1, 4, quick=True, seed=7)
+        assert WorkUnit.from_json(unit.to_json()) == unit
+
+
+class TestLeases:
+    def test_lease_hands_out_lowest_pending(self):
+        coordinator = SweepCoordinator(_units(3), lease_ttl=10, clock=FakeClock())
+        first = coordinator.lease("a")
+        second = coordinator.lease("b")
+        assert first.unit.unit_id == 0 and first.attempt == 1
+        assert second.unit.unit_id == 1
+        assert not first.done
+
+    def test_all_leased_reports_busy_not_done(self):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=10, clock=FakeClock())
+        coordinator.lease("a")
+        reply = coordinator.lease("b")
+        assert reply.unit is None and not reply.done
+
+    def test_expired_lease_is_reassigned_exactly_once(self):
+        """Worker death: the unit goes to ONE next worker, nobody else."""
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(2), lease_ttl=5, clock=clock)
+        assert coordinator.lease("dying").unit.unit_id == 0
+        clock.advance(5.1)
+        retaken = coordinator.lease("healthy")
+        assert retaken.unit.unit_id == 0 and retaken.attempt == 2
+        assert coordinator.reassigned == 1
+        # The re-leased unit is held again: a third worker gets unit 1,
+        # and a fourth gets nothing.
+        assert coordinator.lease("third").unit.unit_id == 1
+        assert coordinator.lease("fourth").unit is None
+
+    def test_renew_extends_the_deadline(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
+        coordinator.lease("a")
+        clock.advance(4)
+        assert coordinator.renew("a", 0)
+        clock.advance(4)  # 8s total: dead without the renewal at t=4
+        assert coordinator.complete("a", 0) == "completed"
+        assert coordinator.reassigned == 0
+
+    def test_renew_fails_after_expiry_or_for_wrong_worker(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
+        coordinator.lease("a")
+        assert not coordinator.renew("b", 0)
+        clock.advance(5.1)
+        assert not coordinator.renew("a", 0)
+
+    def test_late_completion_is_accepted_and_counted(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
+        coordinator.lease("slow")
+        clock.advance(5.1)
+        assert coordinator.complete("slow", 0) == "late"
+        assert coordinator.late == 1 and coordinator.done
+
+    def test_completion_after_reassignment_deduplicates(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
+        coordinator.lease("slow")
+        clock.advance(5.1)
+        coordinator.lease("fast")
+        assert coordinator.complete("fast", 0) == "completed"
+        assert coordinator.complete("slow", 0) == "duplicate"
+        assert coordinator.done
+
+    def test_release_requeues_immediately(self):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=FakeClock())
+        coordinator.lease("a")
+        assert coordinator.release("a", 0)
+        assert coordinator.lease("b").unit.unit_id == 0
+        assert coordinator.reassigned == 0
+
+    def test_done_and_status(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(2), lease_ttl=5, clock=clock)
+        coordinator.lease("a")
+        coordinator.complete("a", 0)
+        status = coordinator.status()
+        assert status["completed"] == 1 and status["pending"] == 1
+        assert not status["done"] and not coordinator.done
+        coordinator.lease("a")
+        coordinator.complete("a", 1)
+        assert coordinator.done
+        reply = coordinator.lease("a")
+        assert reply.unit is None and reply.done
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            SweepCoordinator([])
+        with pytest.raises(ConfigurationError, match="lease_ttl"):
+            SweepCoordinator(_units(1), lease_ttl=0)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SweepCoordinator([WorkUnit.of(0, "s", 0, 2), WorkUnit.of(0, "s", 1, 2)])
+
+    def test_complete_unknown_unit_raises(self):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=FakeClock())
+        with pytest.raises(ConfigurationError, match="unknown unit"):
+            coordinator.complete("a", 99)
+
+    def test_wait_until_done_times_out_loudly(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
+        with pytest.raises(ConfigurationError, match="did not complete"):
+            wait_until_done(
+                coordinator, poll=1, sleep=clock.advance, timeout=3, clock=clock
+            )
+
+
+class TestTransports:
+    def _populated_store(self, root) -> TrialStore:
+        store = TrialStore(root)
+        for seed in range(3):
+            spec = TrialSpec.of("cycle", 12, seed)
+            store.put("t", spec, _probe_task(spec))
+        return store
+
+    def test_dir_transport_round_trips_a_store(self, tmp_path):
+        source = self._populated_store(tmp_path / "src")
+        source.close()
+        transport = DirTransport(str(tmp_path / "staging"))
+        transport.push(str(tmp_path / "src"), "u0-a1-w")
+        (pushed,) = pushed_store_dirs(str(tmp_path / "staging"))
+        merged = TrialStore(tmp_path / "merged")
+        assert merge_stores(merged, [pushed]) == {"added": 3, "duplicate": 0}
+        spec = TrialSpec.of("cycle", 12, 1)
+        assert merged.get("t", spec) == _probe_task(spec)
+
+    def test_duplicate_push_keeps_the_first_copy(self, tmp_path):
+        self._populated_store(tmp_path / "src").close()
+        transport = DirTransport(str(tmp_path / "staging"))
+        first = transport.push(str(tmp_path / "src"), "name")
+        second = transport.push(str(tmp_path / "src"), "name")
+        assert first == second
+        assert len(pushed_store_dirs(str(tmp_path / "staging"))) == 1
+
+    def test_staging_listing_skips_bookkeeping_dirs(self, tmp_path):
+        staging = tmp_path / "staging"
+        self._populated_store(staging / "_merged").close()
+        self._populated_store(staging / "good").close()
+        os.makedirs(staging / "not-a-store")
+        assert pushed_store_dirs(str(staging)) == [str(staging / "good")]
+
+    def test_pushed_names_cannot_collide_with_bookkeeping(self, tmp_path):
+        dest = write_pushed_store(str(tmp_path), "_merged", {"shards/t.jsonl": ""})
+        assert os.path.basename(dest) == "p_merged"
+
+    def test_push_rejects_path_escapes(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="illegal path"):
+            write_pushed_store(str(tmp_path), "evil", {"../escape": "x"})
+
+    def test_merge_pushed_with_empty_staging_is_a_noop(self, tmp_path):
+        dest = TrialStore(tmp_path / "dest")
+        stats = merge_pushed(str(tmp_path / "missing"), dest)
+        assert stats == {"added": 0, "duplicate": 0} and len(dest) == 0
+
+
+class TestReadThroughStore:
+    def test_fallback_hits_are_copied_forward(self, tmp_path):
+        spec = TrialSpec.of("cycle", 12, 3)
+        fallback = TrialStore(tmp_path / "fallback")
+        fallback.put("t", spec, _probe_task(spec))
+        primary = TrialStore(tmp_path / "primary")
+        layered = ReadThroughStore(primary, fallback)
+        assert layered.get("t", spec) == _probe_task(spec)
+        assert primary.get("t", spec) == _probe_task(spec)
+        assert len(layered) == 1
+
+    def test_misses_stay_misses_and_puts_go_to_primary(self, tmp_path):
+        spec = TrialSpec.of("cycle", 12, 3)
+        fallback = TrialStore(tmp_path / "fallback")
+        primary = TrialStore(tmp_path / "primary")
+        layered = ReadThroughStore(primary, fallback)
+        assert layered.get("t", spec) is None
+        layered.put("t", spec, _probe_task(spec))
+        assert primary.get("t", spec) == _probe_task(spec)
+        assert fallback.get("t", spec) is None
+
+    def test_repack_is_byte_identical_to_single_host(self, tmp_path):
+        """Merge order scrambles record order; the repack restores it."""
+        specs = grid(["cycle", "path"], [12], range(4), radius=12)
+        single = TrialStore(tmp_path / "single")
+        cold = run_trials(flood_min_trial, specs, store=single)
+        single.close()
+
+        host0 = TrialStore(tmp_path / "host0")
+        host1 = TrialStore(tmp_path / "host1")
+        run_trials(flood_min_trial, specs, store=host0, shard=(0, 2))
+        run_trials(flood_min_trial, specs, store=host1, shard=(1, 2))
+        staging = TrialStore(tmp_path / "staging")
+        merge_stores(staging, [host1, host0])  # deliberately reversed
+        single_bytes = _store_bytes(str(tmp_path / "single"))
+        assert _store_bytes(str(tmp_path / "staging")) != single_bytes
+
+        final = TrialStore(tmp_path / "final")
+        layered = ReadThroughStore(final, staging)
+        replay = run_trials(
+            _poison_task, specs, store=layered, task_name=FLOOD_TASK_NAME
+        )
+        assert replay == cold
+        final.close()
+        assert _store_bytes(str(tmp_path / "final")) == single_bytes
+
+
+class TestHTTPControlPlane:
+    def test_client_speaks_every_verb(self, tmp_path):
+        units = _units(2)
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+        with CoordinatorServer(coordinator, str(tmp_path / "staging")) as server:
+            client = CoordinatorClient(server.url)
+            reply = client.lease("w")
+            assert reply.unit == units[0] and reply.attempt == 1
+            assert client.renew("w", 0)
+            assert not client.renew("other", 0)
+            assert client.complete("w", 0) == "completed"
+            assert client.release("w", 1) is False
+            status = client.status()
+            assert status["completed"] == 1 and status["total"] == 2
+            second = client.lease("w")
+            assert client.complete("w", second.unit.unit_id) == "completed"
+            assert client.lease("w").done
+
+    def test_http_transport_push_lands_in_staging(self, tmp_path):
+        source = TrialStore(tmp_path / "src")
+        spec = TrialSpec.of("cycle", 12, 3)
+        source.put("t", spec, _probe_task(spec))
+        source.close()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        staging = str(tmp_path / "staging")
+        with CoordinatorServer(coordinator, staging) as server:
+            HTTPTransport(server.url).push(str(tmp_path / "src"), "u0-a1-w")
+        (pushed,) = pushed_store_dirs(staging)
+        assert TrialStore(pushed).get("t", spec) == _probe_task(spec)
+
+    def test_bad_requests_surface_as_configuration_errors(self, tmp_path):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        with CoordinatorServer(coordinator, str(tmp_path / "staging")) as server:
+            client = CoordinatorClient(server.url)
+            with pytest.raises(ConfigurationError, match="unknown unit"):
+                client.complete("w", 99)
+            with pytest.raises(ConfigurationError, match="rejected"):
+                CoordinatorClient(server.url + "/nope").lease("w")
+
+    def test_unreachable_coordinator_is_distinguishable(self):
+        client = CoordinatorClient("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(CoordinatorUnavailable):
+            client.lease("w")
+
+
+class TestCoordinatedEndToEnd:
+    """Abandoned lease + HTTP transport + repack == single host, bytes."""
+
+    def _execute(self, specs):
+        def execute(unit, store, renew):
+            run_trials(
+                flood_min_trial,
+                specs,
+                store=store,
+                shard=(unit.index, unit.count),
+                progress=renew,
+            )
+
+        return execute
+
+    def test_worker_death_then_recovery_is_byte_identical(self, tmp_path):
+        specs = grid(["cycle", "path"], [12], range(3), radius=12)
+        single = TrialStore(tmp_path / "single")
+        cold = run_trials(flood_min_trial, specs, store=single)
+        single.close()
+
+        units = [WorkUnit.of(i, "flood", i, 3) for i in range(3)]
+        coordinator = SweepCoordinator(units, lease_ttl=0.2)
+        staging_root = str(tmp_path / "staging")
+        with CoordinatorServer(coordinator, staging_root) as server:
+            client = CoordinatorClient(server.url)
+            # A worker leases unit 0 and silently dies: no release, no
+            # result, no renewals. Its lease must expire underneath it.
+            abandoned = client.lease("dead-worker")
+            assert abandoned.unit.unit_id == 0
+            stats = run_worker(
+                client,
+                self._execute(specs),
+                HTTPTransport(server.url),
+                str(tmp_path / "scratch"),
+                worker_id="survivor",
+                poll=0.05,
+            )
+        assert stats["completed"] == 3
+        assert coordinator.reassigned == 1 and coordinator.done
+
+        staging = TrialStore(tmp_path / "merged-staging")
+        merge_pushed(staging_root, staging)
+        final = TrialStore(tmp_path / "final")
+        replay = run_trials(
+            _poison_task,
+            specs,
+            store=ReadThroughStore(final, staging),
+            task_name=FLOOD_TASK_NAME,
+        )
+        assert replay == cold
+        final.close()
+        final_bytes = _store_bytes(str(tmp_path / "final"))
+        assert final_bytes == _store_bytes(str(tmp_path / "single"))
+
+    def test_late_duplicate_results_dedupe_at_merge(self, tmp_path):
+        """The expired worker's results arrive anyway: dedupe, don't fail."""
+        specs = grid(["cycle"], [12], range(4), radius=12)
+        units = [WorkUnit.of(i, "flood", i, 2) for i in range(2)]
+        clock = FakeClock()
+        coordinator = SweepCoordinator(units, lease_ttl=5, clock=clock)
+        staging_root = str(tmp_path / "staging")
+        transport = DirTransport(staging_root)
+
+        slow = coordinator.lease("slow")
+        clock.advance(5.1)
+        stats = run_worker(
+            coordinator,
+            self._execute(specs),
+            transport,
+            str(tmp_path / "scratch-fast"),
+            worker_id="fast",
+            poll=0.01,
+        )
+        assert stats["completed"] == 2 and coordinator.done
+        # The slow worker wakes up, finishes the same unit, and pushes.
+        slow_store = TrialStore(tmp_path / "scratch-slow")
+        self._execute(specs)(slow.unit, slow_store, lambda *a: None)
+        slow_store.close()
+        transport.push(str(tmp_path / "scratch-slow"), "u0-a1-slow")
+        assert coordinator.complete("slow", 0) == "duplicate"
+
+        staging = TrialStore(tmp_path / "merged")
+        stats = merge_pushed(staging_root, staging)
+        assert stats["duplicate"] == 2  # the re-computed unit's records
+        assert stats["added"] == len(specs)
+        replay = run_trials(
+            _poison_task, specs, store=staging, task_name=FLOOD_TASK_NAME
+        )
+        assert replay == run_trials(flood_min_trial, specs)
+
+    def test_run_worker_in_process_with_dir_transport(self, tmp_path):
+        """run_worker drives a SweepCoordinator directly — no sockets."""
+        specs = grid(["cycle"], [12], range(3), radius=12)
+        units = [WorkUnit.of(i, "flood", i, 3) for i in range(3)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+        staging_root = str(tmp_path / "staging")
+        stats = run_worker(
+            coordinator,
+            self._execute(specs),
+            DirTransport(staging_root),
+            str(tmp_path / "scratch"),
+            worker_id="solo",
+        )
+        assert stats["completed"] == 3 and coordinator.done
+        staging = TrialStore(tmp_path / "merged")
+        assert merge_pushed(staging_root, staging)["added"] == len(specs)
+
+    def test_failing_execute_releases_the_lease(self, tmp_path):
+        units = [WorkUnit.of(0, "flood", 0, 1)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+
+        def explode(unit, store, renew):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_worker(
+                coordinator,
+                explode,
+                DirTransport(str(tmp_path / "staging")),
+                str(tmp_path / "scratch"),
+                worker_id="clumsy",
+            )
+        assert coordinator.lease("next").unit.unit_id == 0
+
+    def test_failing_push_releases_the_lease(self, tmp_path):
+        """A push failure must not strand the unit until TTL expiry."""
+        specs = grid(["cycle"], [12], range(1), radius=12)
+        units = [WorkUnit.of(0, "flood", 0, 1)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+
+        class BrokenTransport(Transport):
+            def push(self, store_root, name):
+                raise ConfigurationError("disk full")
+
+        with pytest.raises(ConfigurationError, match="disk full"):
+            run_worker(
+                coordinator,
+                self._execute(specs),
+                BrokenTransport(),
+                str(tmp_path / "scratch"),
+                worker_id="pusher",
+            )
+        assert coordinator.lease("next").unit.unit_id == 0
+
+    def test_two_concurrent_workers_split_the_units(self, tmp_path):
+        specs = grid(["cycle", "path"], [12], range(3), radius=12)
+        units = [WorkUnit.of(i, "flood", i, 4) for i in range(4)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+        staging_root = str(tmp_path / "staging")
+        results = {}
+
+        def spin(worker_id):
+            results[worker_id] = run_worker(
+                coordinator,
+                self._execute(specs),
+                DirTransport(staging_root),
+                str(tmp_path / f"scratch-{worker_id}"),
+                worker_id=worker_id,
+                poll=0.01,
+            )
+
+        threads = [threading.Thread(target=spin, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert coordinator.done and coordinator.reassigned == 0
+        total = sum(stats["completed"] for stats in results.values())
+        assert total == 4
+        staging = TrialStore(tmp_path / "merged")
+        merge_pushed(staging_root, staging)
+        replay = run_trials(
+            _poison_task, specs, store=staging, task_name=FLOOD_TASK_NAME
+        )
+        assert replay == run_trials(flood_min_trial, specs)
+
+
+class TestCoordinationCLI:
+    def test_flag_validation(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["--coordinator", "127.0.0.1:0", "--worker", "u"]) == 2
+        assert main(["--coordinator", "127.0.0.1:0"]) == 2  # no --store
+        assert main(["--coordinator", "noport", "--store", str(tmp_path)]) == 2
+        sharded = ["--worker", "u", "--shard-index", "0", "--shard-count", "2"]
+        assert main(sharded) == 2
+        assert main(["--worker", "u", "--merge", "x", "--store", "y"]) == 2
+        assert main(["--worker", "u", "--transport", "dir"]) == 2
+        assert main(["--worker", "u", "--store", str(tmp_path)]) == 2
+        assert main(["--worker", "u", "e06"]) == 2  # coordinator picks sweeps
+        storeless = ["--coordinator", "127.0.0.1:0", "--store", str(tmp_path)]
+        assert main(storeless + ["e07"]) == 2  # nothing sweeping to coordinate
+        capsys.readouterr()
+
+    def test_worker_against_dead_coordinator_exits_cleanly(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["--worker", "http://127.0.0.1:9", "--poll", "0.01"]) == 0
+        assert "0 unit(s) completed" in capsys.readouterr().out
+
+    def test_experiment_units_slices_only_sweeping_drivers(self):
+        from repro.analysis.coordinated import experiment_units
+
+        units = experiment_units(["e06", "e07"], 3, True, 1)
+        assert [unit.sweep for unit in units] == ["e06"] * 3
+        assert [(unit.index, unit.count) for unit in units] == [
+            (0, 3),
+            (1, 3),
+            (2, 3),
+        ]
+        with pytest.raises(ConfigurationError, match="nothing to coordinate"):
+            experiment_units(["e07"], 2, True, 1)
+
+    def test_parse_endpoint(self):
+        from repro.analysis.coordinated import parse_endpoint
+
+        assert parse_endpoint("127.0.0.1:0") == ("127.0.0.1", 0)
+        assert parse_endpoint("host.example:8642") == ("host.example", 8642)
+        for bad in ("nope", ":0", "h:x", "h:70000"):
+            with pytest.raises(ConfigurationError):
+                parse_endpoint(bad)

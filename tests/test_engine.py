@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import BandwidthExceeded, ConfigurationError, ModelViolation
-from repro.graphs import assign, make
 from repro.randomness import IndependentSource
 from repro.sim import CONGEST, LOCAL, NodeProgram, SyncEngine, run_program
 from repro.sim.messages import congest_limit, message_bits

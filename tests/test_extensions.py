@@ -6,7 +6,7 @@ from repro.analysis.ablations import ABLATIONS, a1_gap_rule
 from repro.core.ruling_sets import ruling_set_via_mis, verify_ruling_set
 from repro.core.sinkless import is_sinkless, tree_orientation
 from repro.errors import ConfigurationError
-from repro.graphs import assign, complete_tree, make, random_tree
+from repro.graphs import assign, complete_tree, random_tree
 from repro.randomness import IndependentSource
 
 

@@ -1,6 +1,5 @@
 """Cross-module pipelines: end-to-end flows the paper composes."""
 
-import pytest
 
 from repro.checkers import (
     ColoringChecker,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.coloring import is_proper_coloring
 from repro.core.decomposition import elkin_neiman
-from repro.core.linial import ColorReduceCV, log_star, reduce_to_three_colors
+from repro.core.linial import log_star, reduce_to_three_colors
 from repro.core.mis import is_valid_mis
 from repro.core.slocal_reduction import (
     derandomized_coloring,

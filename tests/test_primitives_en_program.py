@@ -3,11 +3,10 @@
 import pytest
 
 from repro.core.decomposition import elkin_neiman
-from repro.core.decomposition.en_program import ENProgram, en_engine_decomposition
+from repro.core.decomposition.en_program import en_engine_decomposition
 from repro.errors import ConfigurationError
-from repro.graphs import assign, make
 from repro.randomness import IndependentSource
-from repro.sim import CONGEST, SyncEngine, run_program
+from repro.sim import CONGEST, SyncEngine
 from repro.sim.messages import congest_limit
 from repro.sim.primitives import (
     BFSTree,

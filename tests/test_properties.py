@@ -9,7 +9,6 @@ input, not just the fixture graphs.
 import math
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

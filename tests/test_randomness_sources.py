@@ -1,13 +1,10 @@
 """Randomness sources: determinism, metering, budgets, samplers."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, ModelViolation, RandomnessExhausted
 from repro.randomness import (
     IndependentSource,
-    KWiseSource,
     SharedRandomness,
     SparseRandomness,
 )

@@ -6,7 +6,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.graphs import make
 from repro.sim.graph import DistributedGraph
 
 

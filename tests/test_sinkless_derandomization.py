@@ -21,7 +21,7 @@ from repro.core.sinkless import (
 )
 from repro.core.splitting import random_instance
 from repro.errors import ConfigurationError, DerandomizationFailure
-from repro.graphs import assign, complete_tree, make, random_regular
+from repro.graphs import assign, complete_tree, random_regular
 from repro.randomness import IndependentSource
 
 

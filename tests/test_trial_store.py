@@ -272,6 +272,18 @@ class TestShardAndMerge:
         with pytest.raises(ConfigurationError):
             shard(specs, 0, 0)
 
+    def test_shard_count_larger_than_grid_is_rejected(self):
+        """Regression: count > len(specs) used to hand back silently
+        empty slices; now it is a loud mis-sized-fleet error."""
+        specs = grid(["cycle"], [12], range(3))
+        with pytest.raises(ConfigurationError, match="exceeds the grid"):
+            shard(specs, 0, 4)
+        with pytest.raises(ConfigurationError, match="exceeds the grid"):
+            shard([], 0, 1)
+        # count == len(specs) is the boundary: one spec per slice.
+        parts = [shard(specs, i, 3) for i in range(3)]
+        assert [len(part) for part in parts] == [1, 1, 1]
+
     def test_two_host_shard_merge_equals_single_host(self, tmp_path):
         specs = grid(["cycle", "path"], [12], range(4), radius=12)
         cold = run_trials(flood_min_trial, specs, workers=1)
@@ -310,6 +322,16 @@ class TestShardAndMerge:
         dest = TrialStore(tmp_path / "dest")
         merge_stores(dest, [str(tmp_path / "src")])
         assert dest.get("t", spec) == _probe_task(spec)
+
+    def test_merge_refuses_empty_source_list(self, tmp_path):
+        """Regression: merging zero sources used to "succeed" as a no-op,
+        hiding globs/fleets that produced no stores."""
+        dest = TrialStore(tmp_path / "dest")
+        with pytest.raises(ConfigurationError, match="at least one"):
+            merge_stores(dest, [])
+        with pytest.raises(ConfigurationError, match="at least one"):
+            merge_stores(dest, iter(()))
+        assert len(dest) == 0
 
     def test_merge_refuses_missing_source(self, tmp_path):
         """A typo'd source path must fail loudly, not merge nothing."""
