@@ -1,18 +1,30 @@
-"""Coordinated-sweep smoke: kill a worker mid-sweep, still byte-identical.
+"""Coordinated-sweep smoke: kill a process mid-sweep, still byte-identical.
 
-CI runs this after the test suite. One coordinator and two workers are
-launched as real subprocesses; worker A is throttled so its units take
-seconds, then SIGKILLed while it provably holds a lease. The lease
-expires, the unit is re-leased to worker B, and the merged-and-repacked
-store must come out byte-for-byte identical to a single-host run — the
-coordinator's core guarantee, exercised through genuine process death
-rather than a simulated one. The store directories are left on disk
-for CI to upload as artifacts.
+CI runs this after the test suite, once per victim. One coordinator and
+two workers are launched as real subprocesses; then, depending on
+``--kill``:
+
+* ``worker`` (default) — worker A is throttled so its units take
+  seconds, then SIGKILLed while it provably holds a lease. The lease
+  expires and its unit is re-leased to worker B.
+* ``coordinator`` — the coordinator itself is SIGKILLed once the sweep
+  is provably mid-flight (at least one unit completed, at least one
+  lease live). The orphaned workers drain and exit; a second
+  coordinator restarts with ``--resume``, replays the write-ahead
+  journal, requeues the interrupted lease, and a fresh worker fleet
+  finishes the sweep.
+
+Either way the merged-and-repacked store must come out byte-for-byte
+identical to a single-host run — the coordinator's core guarantee,
+exercised through genuine process death rather than a simulated one.
+The store directories (journal included) are left on disk for CI to
+upload as artifacts.
 
 Usage::
 
     PYTHONPATH=src python scripts_coordinated_smoke.py \\
-        [--dir coordinated-store] [--transport http|dir]
+        [--dir coordinated-store] [--transport http|dir] \\
+        [--kill worker|coordinator]
 """
 
 import argparse
@@ -33,6 +45,7 @@ if _SRC not in sys.path:
 
 from repro.analysis import EXPERIMENTS  # noqa: E402
 from repro.sim.batch import TrialStore  # noqa: E402
+from repro.sim.batch.distrib import JOURNAL_NAME  # noqa: E402
 
 _URL_PATTERN = re.compile(r"coordinator listening on (http://\S+)")
 _SUMMARY_PATTERN = re.compile(r"units=(\d+) reassigned=(\d+) late=(\d+)")
@@ -92,91 +105,100 @@ def _store_bytes(root):
     return contents
 
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--dir",
-        default="coordinated-store",
-        help="work directory (kept on disk for artifact upload)",
+def _coordinator_argv(args, merged_dir, staging_dir, resume=False):
+    argv = [
+        "-m",
+        "repro.analysis",
+        args.experiment,
+        "--seed",
+        str(args.seed),
+        "--store",
+        merged_dir,
+        "--staging",
+        staging_dir,
+        "--coordinator",
+        "127.0.0.1:0",
+        "--units",
+        "4",
+        "--lease-ttl",
+        "3",
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def _worker_argv(args, url, worker_id, throttle, staging_dir):
+    argv = [
+        "-m",
+        "repro.analysis",
+        "--worker",
+        url,
+        "--worker-id",
+        worker_id,
+        "--poll",
+        "0.1",
+        "--throttle",
+        str(throttle),
+        "--transport",
+        args.transport,
+    ]
+    if args.transport == "dir":
+        argv += ["--transport-dir", staging_dir]
+    return argv
+
+
+def _coordinator_url(coordinator):
+    def probe():
+        match = _URL_PATTERN.search(_read_log(coordinator.log_path))
+        return match.group(1) if match else None
+
+    url = _wait_for(probe, 30, "the coordinator URL")
+    print(f"coordinator up at {url}", flush=True)
+    return url
+
+
+def _reap(processes):
+    for process in processes:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+        process.log_handle.close()
+
+
+def _parse_summary(coordinator):
+    log = _read_log(coordinator.log_path)
+    if coordinator.returncode != 0:
+        print(log)
+        raise AssertionError(f"coordinator exited {coordinator.returncode}")
+    summary = _SUMMARY_PATTERN.search(log)
+    assert summary, f"no summary line in coordinator output:\n{log}"
+    units, reassigned, late = map(int, summary.groups())
+    print(
+        f"coordinator summary: units={units} reassigned={reassigned} late={late}",
+        flush=True,
     )
-    parser.add_argument("--transport", choices=("http", "dir"), default="http")
-    parser.add_argument("--experiment", default="e06")
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--timeout", type=float, default=240.0)
-    args = parser.parse_args(argv)
-    if os.path.isdir(args.dir):
-        # Leftover stores from a previous run would turn the sweep into
-        # a cache replay and rob the kill of its target; the smoke must
-        # be rerunnable against the same --dir.
-        shutil.rmtree(args.dir)
+    return units, reassigned, late
 
-    baseline_dir = os.path.join(args.dir, "baseline")
-    merged_dir = os.path.join(args.dir, "merged")
-    staging_dir = os.path.join(args.dir, "staging")
 
-    print(f"single-host baseline: {args.experiment} -> {baseline_dir}", flush=True)
-    with TrialStore(baseline_dir) as baseline_store:
-        EXPERIMENTS[args.experiment](
-            quick=True, seed=args.seed, store=baseline_store
-        )
-        baseline_count = len(baseline_store)
-    assert baseline_count > 0, "baseline sweep stored nothing"
-
+def _worker_kill_scenario(args, merged_dir, staging_dir):
+    """SIGKILL a lease-holding worker; the sweep must finish without it."""
     coordinator = _spawn(
-        [
-            "-m",
-            "repro.analysis",
-            args.experiment,
-            "--seed",
-            str(args.seed),
-            "--store",
-            merged_dir,
-            "--staging",
-            staging_dir,
-            "--coordinator",
-            "127.0.0.1:0",
-            "--units",
-            "4",
-            "--lease-ttl",
-            "3",
-        ],
+        _coordinator_argv(args, merged_dir, staging_dir),
         os.path.join(args.dir, "coordinator.log"),
     )
     workers = []
     try:
-        def coordinator_url():
-            match = _URL_PATTERN.search(_read_log(coordinator.log_path))
-            return match.group(1) if match else None
-
-        url = _wait_for(coordinator_url, 30, "the coordinator URL")
-        print(f"coordinator up at {url}", flush=True)
-
-        def worker_argv(worker_id, throttle):
-            argv = [
-                "-m",
-                "repro.analysis",
-                "--worker",
-                url,
-                "--worker-id",
-                worker_id,
-                "--poll",
-                "0.1",
-                "--throttle",
-                str(throttle),
-                "--transport",
-                args.transport,
-            ]
-            if args.transport == "dir":
-                argv += ["--transport-dir", staging_dir]
-            return argv
-
+        url = _coordinator_url(coordinator)
         # Worker A is slow on purpose: ~0.5s per trial gives a wide
         # window in which it provably holds a lease when we kill it.
         victim = _spawn(
-            worker_argv("workerA", 0.5), os.path.join(args.dir, "workerA.log")
+            _worker_argv(args, url, "workerA", 0.5, staging_dir),
+            os.path.join(args.dir, "workerA.log"),
         )
         survivor = _spawn(
-            worker_argv("workerB", 0.05), os.path.join(args.dir, "workerB.log")
+            _worker_argv(args, url, "workerB", 0.05, staging_dir),
+            os.path.join(args.dir, "workerB.log"),
         )
         workers = [victim, survivor]
 
@@ -199,27 +221,143 @@ def main(argv=None):
         coordinator.wait(timeout=args.timeout)
         survivor.wait(timeout=60)
     finally:
-        for process in [coordinator] + workers:
-            if process.poll() is None:
-                process.kill()
-                process.wait(timeout=30)
-            process.log_handle.close()
+        _reap([coordinator] + workers)
 
-    coordinator_log = _read_log(coordinator.log_path)
-    if coordinator.returncode != 0:
-        print(coordinator_log)
-        raise AssertionError(f"coordinator exited {coordinator.returncode}")
-    summary = _SUMMARY_PATTERN.search(coordinator_log)
-    assert summary, f"no summary line in coordinator output:\n{coordinator_log}"
-    units, reassigned, late = map(int, summary.groups())
-    print(
-        f"coordinator summary: units={units} reassigned={reassigned} late={late}",
-        flush=True,
-    )
+    units, reassigned, late = _parse_summary(coordinator)
     assert reassigned >= 1, (
         "the killed worker's lease was never reassigned — the kill window "
         "missed; see workerA.log / coordinator.log"
     )
+    return units, reassigned, late
+
+
+def _coordinator_kill_scenario(args, merged_dir, staging_dir):
+    """SIGKILL the coordinator mid-sweep; --resume must finish the job."""
+    coordinator = _spawn(
+        _coordinator_argv(args, merged_dir, staging_dir),
+        os.path.join(args.dir, "coordinator.log"),
+    )
+    workers = []
+    try:
+        url = _coordinator_url(coordinator)
+        # Worker A is throttled so at least one lease is reliably live
+        # at kill time; worker B races ahead so at least one unit is
+        # reliably complete (and its push durably staged).
+        workers = [
+            _spawn(
+                _worker_argv(args, url, "workerA", 0.5, staging_dir),
+                os.path.join(args.dir, "workerA.log"),
+            ),
+            _spawn(
+                _worker_argv(args, url, "workerB", 0.05, staging_dir),
+                os.path.join(args.dir, "workerB.log"),
+            ),
+        ]
+
+        def sweep_mid_flight():
+            status = _status(url)
+            if status is None:
+                return None
+            if status["completed"] >= 1 and status["leased"] >= 1:
+                return status
+            return None
+
+        status = _wait_for(
+            sweep_mid_flight, 120, "a completed unit alongside a live lease"
+        )
+        os.kill(coordinator.pid, signal.SIGKILL)
+        coordinator.wait(timeout=30)
+        print(
+            f"killed the coordinator with {status['completed']} unit(s) "
+            f"complete and {status['leased']} lease(s) live",
+            flush=True,
+        )
+        # The orphans notice on their next lease/push and exit cleanly.
+        for worker in workers:
+            worker.wait(timeout=120)
+    finally:
+        _reap([coordinator] + workers)
+
+    journal = os.path.join(staging_dir, JOURNAL_NAME)
+    assert os.path.exists(journal), f"no write-ahead journal at {journal}"
+
+    resumed = _spawn(
+        _coordinator_argv(args, merged_dir, staging_dir, resume=True),
+        os.path.join(args.dir, "coordinator-resumed.log"),
+    )
+    fresh = []
+    try:
+        url = _coordinator_url(resumed)
+        fresh = [
+            _spawn(
+                _worker_argv(args, url, "workerC", 0.02, staging_dir),
+                os.path.join(args.dir, "workerC.log"),
+            ),
+            _spawn(
+                _worker_argv(args, url, "workerD", 0.02, staging_dir),
+                os.path.join(args.dir, "workerD.log"),
+            ),
+        ]
+        resumed.wait(timeout=args.timeout)
+        for worker in fresh:
+            worker.wait(timeout=60)
+    finally:
+        _reap([resumed] + fresh)
+
+    resumed_log = _read_log(resumed.log_path)
+    assert "resumed from" in resumed_log, (
+        f"the restarted coordinator did not replay the journal:\n{resumed_log}"
+    )
+    units, reassigned, late = _parse_summary(resumed)
+    assert reassigned >= 1, (
+        "the lease that was live at the kill was never requeued — recovery "
+        "missed it; see coordinator-resumed.log / journal.jsonl"
+    )
+    return units, reassigned, late
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default="coordinated-store",
+        help="work directory (kept on disk for artifact upload)",
+    )
+    parser.add_argument("--transport", choices=("http", "dir"), default="http")
+    parser.add_argument(
+        "--kill",
+        choices=("worker", "coordinator"),
+        default="worker",
+        help="which process gets the SIGKILL mid-sweep (default: worker)",
+    )
+    parser.add_argument("--experiment", default="e06")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=240.0)
+    args = parser.parse_args(argv)
+    if os.path.isdir(args.dir):
+        # Leftover stores from a previous run would turn the sweep into
+        # a cache replay and rob the kill of its target; the smoke must
+        # be rerunnable against the same --dir.
+        shutil.rmtree(args.dir)
+
+    baseline_dir = os.path.join(args.dir, "baseline")
+    merged_dir = os.path.join(args.dir, "merged")
+    staging_dir = os.path.join(args.dir, "staging")
+
+    print(f"single-host baseline: {args.experiment} -> {baseline_dir}", flush=True)
+    with TrialStore(baseline_dir) as baseline_store:
+        EXPERIMENTS[args.experiment](quick=True, seed=args.seed, store=baseline_store)
+        baseline_count = len(baseline_store)
+    assert baseline_count > 0, "baseline sweep stored nothing"
+
+    if args.kill == "coordinator":
+        units, reassigned, late = _coordinator_kill_scenario(
+            args, merged_dir, staging_dir
+        )
+        verdict = "coordinator SIGKILLed and resumed"
+    else:
+        units, reassigned, late = _worker_kill_scenario(args, merged_dir, staging_dir)
+        verdict = "a worker SIGKILLed"
 
     baseline = _store_bytes(baseline_dir)
     merged = _store_bytes(merged_dir)
@@ -229,8 +367,8 @@ def main(argv=None):
         f"diverge"
     )
     print(
-        f"coordinated-sweep smoke OK: {args.transport} transport, "
-        f"{units} units, {reassigned} reassigned after a SIGKILL, store "
+        f"coordinated-sweep smoke OK: {args.transport} transport, {verdict}, "
+        f"{units} units, {reassigned} reassigned, {late} late, store "
         f"byte-identical to the single-host baseline "
         f"({baseline_count} result(s))",
         flush=True,

@@ -25,12 +25,18 @@ Usage::
 Coordinated sweeps replace the manual shard bookkeeping: one
 ``--coordinator`` process leases work units to any number of
 ``--worker`` processes and merges their pushed stores byte-identically
-to a single-host run (README "Distributed sweeps")::
+to a single-host run (README "Distributed sweeps"). The coordinator
+write-ahead journals every lease transition into its staging directory,
+so a killed coordinator restarts with ``--resume`` and picks up where
+it died; ``--auth-token``/``$REPRO_SWEEP_TOKEN`` gates the control
+plane and ``--timeout`` bounds the wait on a stalled fleet::
 
     PYTHONPATH=src python scripts_run_experiments.py --store runs/full \\
         --coordinator 0.0.0.0:8642                                 # serve
     PYTHONPATH=src python scripts_run_experiments.py \\
         --worker http://host:8642                                  # per worker
+    PYTHONPATH=src python scripts_run_experiments.py --store runs/full \\
+        --coordinator 0.0.0.0:8642 --resume                        # after a crash
 """
 import argparse
 import sys

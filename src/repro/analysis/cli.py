@@ -22,6 +22,14 @@ shard-index bookkeeping with dynamically leased work units::
     python -m repro.analysis --full --store runs/full \\
         --coordinator 0.0.0.0:8642                           # serve + merge
     python -m repro.analysis --worker http://host:8642       # on each worker
+    python -m repro.analysis --full --store runs/full \\
+        --coordinator 0.0.0.0:8642 --resume                  # after a crash
+
+The coordinator journals every lease transition into its staging
+directory (write-ahead, fsynced per line), so ``--resume`` recovers an
+interrupted sweep exactly; ``--timeout`` bounds the wait on a stalled
+fleet and ``--auth-token``/``$REPRO_SWEEP_TOKEN`` gates the control
+plane with a shared secret.
 """
 
 from __future__ import annotations

@@ -47,6 +47,7 @@ from ..sim.batch import (
     run_worker,
     wait_until_done,
 )
+from ..sim.batch.distrib import JOURNAL_NAME, TOKEN_ENV_VAR
 from .experiments import EXPERIMENTS, SWEEPING
 
 
@@ -133,6 +134,37 @@ def add_coordination_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker: sleep this long after every completed trial — a pacing "
         "knob for demos and for tests that need a kill window",
     )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="coordinator: re-open an interrupted coordinated sweep from the "
+        "write-ahead journal and staged pushes in --staging instead of "
+        "starting cold (completed units stay completed; leases that were "
+        "live at the crash are requeued)",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="coordinator: fail loudly if the sweep has not completed after "
+        "this many seconds (default: wait forever)",
+    )
+    group.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=None,
+        help="shared secret for the control plane: the coordinator rejects "
+        "any verb without it (HTTP 401), workers send it with every "
+        f"request (default: ${TOKEN_ENV_VAR}, else no authentication)",
+    )
+
+
+def resolve_auth_token(args: argparse.Namespace) -> Optional[str]:
+    """``--auth-token``, else ``$REPRO_SWEEP_TOKEN``, else open access."""
+    if args.auth_token is not None:
+        return args.auth_token
+    return os.environ.get(TOKEN_ENV_VAR) or None
 
 
 def parse_endpoint(text: str) -> Tuple[str, int]:
@@ -222,8 +254,54 @@ def run_coordination(
             "stores itself — drop it"
         )
     if args.worker is not None:
+        if args.resume:
+            raise ConfigurationError(
+                "--resume is a coordinator flag: workers have no journal to "
+                "resume from — drop it"
+            )
+        if args.timeout is not None:
+            raise ConfigurationError(
+                "--timeout is a coordinator flag (the sweep deadline); "
+                "workers already stop when the coordinator goes away"
+            )
         return run_worker_mode(args)
     return run_coordinator_mode(args, names, quick, seed)
+
+
+def open_coordinator(
+    args: argparse.Namespace, units: Sequence[WorkUnit], journal: str
+) -> SweepCoordinator:
+    """A journaled coordinator: fresh, or recovered via ``--resume``.
+
+    A cold start refuses to overwrite an existing journal — that is an
+    interrupted sweep, and silently forgetting its lease history is
+    exactly the failure mode the journal exists to prevent.
+    """
+    if args.resume:
+        if not os.path.exists(journal):
+            raise ConfigurationError(
+                f"--resume: no journal at {journal}; nothing to resume "
+                f"(start without --resume to begin a fresh sweep)"
+            )
+        coordinator = SweepCoordinator.recover(
+            units, journal, lease_ttl=args.lease_ttl
+        )
+        status = coordinator.status()
+        print(
+            f"resumed from {journal}: {status['completed']}/{status['total']} "
+            f"unit(s) already complete, {status['pending']} requeued or "
+            f"pending",
+            flush=True,
+        )
+        return coordinator
+    if os.path.exists(journal) and os.path.getsize(journal) > 0:
+        raise ConfigurationError(
+            f"journal {journal} already exists — pass --resume to continue "
+            f"that sweep, or remove the staging directory to start cold"
+        )
+    return SweepCoordinator(
+        units, lease_ttl=args.lease_ttl, journal_path=journal
+    )
 
 
 def run_coordinator_mode(
@@ -244,46 +322,64 @@ def run_coordinator_mode(
     host, port = parse_endpoint(args.coordinator)
     units = experiment_units(names, args.units, quick, seed)
     staging = args.staging or args.store.rstrip(os.sep) + ".staging"
-    coordinator = SweepCoordinator(units, lease_ttl=args.lease_ttl)
+    journal = os.path.join(staging, JOURNAL_NAME)
+    coordinator = open_coordinator(args, units, journal)
+    token = resolve_auth_token(args)
     start = time.time()
-    with CoordinatorServer(coordinator, staging, host, port) as server:
-        print(f"coordinator listening on {server.url}", flush=True)
+    staging_store = None
+    final = None
+    try:
+        server = CoordinatorServer(
+            coordinator, staging, host, port, auth_token=token
+        )
+        with server:
+            print(f"coordinator listening on {server.url}", flush=True)
+            print(
+                f"serving {len(units)} unit(s) "
+                f"({args.units} slice(s) x {sorted({u.sweep for u in units})}), "
+                f"lease ttl {args.lease_ttl:.0f}s, staging at {staging}, "
+                f"journal at {journal}"
+                + (", auth required" if token else ""),
+                flush=True,
+            )
+            wait_until_done(coordinator, timeout=args.timeout)
+            # Merge while the server still answers /lease, so draining
+            # workers get a clean "done" instead of a connection error.
+            staging_store = TrialStore(os.path.join(staging, "_merged"))
+            pushes = pushed_store_dirs(staging)
+            stats = merge_pushed(staging, staging_store)
+            print(
+                f"merged {len(pushes)} push(es): {stats['added']} added, "
+                f"{stats['duplicate']} duplicate",
+                flush=True,
+            )
+        # Repack through a read-through layer: lookups replay in grid
+        # order, so the final store's bytes match a single-host run no
+        # matter what order worker pushes arrived in.
+        final = TrialStore(args.store)
+        layered = ReadThroughStore(final, staging_store)
+        for name in names:
+            table = EXPERIMENTS[name](
+                quick=quick, seed=seed, workers=args.workers, store=layered
+            )
+            print(table.render())
+            print()
+        status = coordinator.status()
         print(
-            f"serving {len(units)} unit(s) "
-            f"({args.units} slice(s) x {sorted({u.sweep for u in units})}), "
-            f"lease ttl {args.lease_ttl:.0f}s, staging at {staging}",
+            f"coordinated sweep done in {time.time() - start:.1f}s: "
+            f"units={status['completed']} reassigned={status['reassigned']} "
+            f"late={status['late']}; store {final.root} holds "
+            f"{len(final)} result(s)",
             flush=True,
         )
-        wait_until_done(coordinator)
-        # Merge while the server still answers /lease, so draining
-        # workers get a clean "done" instead of a connection error.
-        staging_store = TrialStore(os.path.join(staging, "_merged"))
-        pushes = pushed_store_dirs(staging)
-        stats = merge_pushed(staging, staging_store)
-        print(
-            f"merged {len(pushes)} push(es): {stats['added']} added, "
-            f"{stats['duplicate']} duplicate",
-            flush=True,
-        )
-    # Repack through a read-through layer: lookups replay in grid
-    # order, so the final store's bytes match a single-host run no
-    # matter what order worker pushes arrived in.
-    final = TrialStore(args.store)
-    layered = ReadThroughStore(final, staging_store)
-    for name in names:
-        table = EXPERIMENTS[name](
-            quick=quick, seed=seed, workers=args.workers, store=layered
-        )
-        print(table.render())
-        print()
-    status = coordinator.status()
-    print(
-        f"coordinated sweep done in {time.time() - start:.1f}s: "
-        f"units={status['completed']} reassigned={status['reassigned']} "
-        f"late={status['late']}; store {final.root} holds "
-        f"{len(final)} result(s)",
-        flush=True,
-    )
+    finally:
+        # Shard-file handles would otherwise leak for the life of the
+        # process (and pin the journal open across a --resume cycle).
+        if staging_store is not None:
+            staging_store.close()
+        if final is not None:
+            final.close()
+        coordinator.close()
     return 0
 
 
@@ -300,6 +396,7 @@ def run_worker_mode(args: argparse.Namespace) -> int:
             "via the transport; drop --store (use --scratch to place the "
             "scratch stores)"
         )
+    token = resolve_auth_token(args)
     transport: Transport
     if args.transport == "dir":
         if args.transport_dir is None:
@@ -309,8 +406,8 @@ def run_worker_mode(args: argparse.Namespace) -> int:
             )
         transport = DirTransport(args.transport_dir)
     else:
-        transport = HTTPTransport(args.worker)
-    client = CoordinatorClient(args.worker)
+        transport = HTTPTransport(args.worker, token=token)
+    client = CoordinatorClient(args.worker, token=token)
     scratch = args.scratch or tempfile.mkdtemp(prefix="repro-worker-")
     worker_id = args.worker_id
     throttle = args.throttle

@@ -31,6 +31,7 @@ testable with no sockets or subprocesses (``tests/test_distrib.py``).
 from __future__ import annotations
 
 import dataclasses
+import hmac
 import json
 import os
 import re
@@ -43,13 +44,27 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from ...errors import ConfigurationError
-from .store import TrialStore, merge_stores
+from .store import (
+    TrialStore,
+    append_jsonl,
+    merge_stores,
+    open_jsonl_append,
+    read_jsonl,
+)
 
 #: Lease lifetime (seconds) when the caller does not choose one.
 DEFAULT_LEASE_TTL = 60.0
+
+#: File name of the coordinator's write-ahead journal inside the
+#: staging directory (next to the pushed stores it belongs with).
+JOURNAL_NAME = "journal.jsonl"
+
+#: Environment variable consulted for the control-plane shared token
+#: when ``--auth-token`` is not given explicitly.
+TOKEN_ENV_VAR = "REPRO_SWEEP_TOKEN"
 
 
 class CoordinatorUnavailable(ConfigurationError):
@@ -140,6 +155,16 @@ class SweepCoordinator:
     ``late``: the work is deterministic, so late results are as good as
     on-time ones, and any double-computed records dedupe at merge time
     under the store's identical-record rule.
+
+    With a ``journal_path``, every state transition is appended to a
+    write-ahead journal — one JSON line per event, flush+fsync before
+    the in-memory state changes, the same torn-line-tolerant discipline
+    as :class:`~repro.sim.batch.store.TrialStore` — and
+    :meth:`recover` rebuilds a crashed coordinator from it: completed
+    units stay completed, attempt counts and ``reassigned``/``late``
+    stats survive, and leases that were live at the crash are
+    conservatively requeued (their workers may be dead; if not, their
+    completions land as harmless "late" ones).
     """
 
     def __init__(
@@ -147,6 +172,7 @@ class SweepCoordinator:
         units: Sequence[WorkUnit],
         lease_ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] = time.monotonic,
+        journal_path: Optional[str] = None,
     ) -> None:
         units = list(units)
         if not units:
@@ -167,6 +193,115 @@ class SweepCoordinator:
         self.reassigned = 0
         self.late = 0
         self._lock = threading.Lock()
+        self.journal_path = os.fspath(journal_path) if journal_path else None
+        self._journal_handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # the write-ahead journal
+    # ------------------------------------------------------------------
+    def _journal(self, event: Dict[str, Any]) -> None:
+        """Durably append one transition (call with the lock held).
+
+        Write-ahead: callers journal *before* mutating in-memory state,
+        so a crash between the two leaves a journal that is ahead of
+        reality — replay then conservatively requeues the affected
+        lease, never forgets a completion.
+        """
+        if self.journal_path is None:
+            return
+        if self._journal_handle is None:
+            parent = os.path.dirname(self.journal_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._journal_handle = open_jsonl_append(self.journal_path)
+        append_jsonl(self._journal_handle, event)
+
+    def close(self) -> None:
+        """Close the journal handle (appends reopen it on demand)."""
+        with self._lock:
+            if self._journal_handle is not None:
+                self._journal_handle.close()
+                self._journal_handle = None
+
+    @classmethod
+    def recover(
+        cls,
+        units: Sequence[WorkUnit],
+        journal_path: str,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "SweepCoordinator":
+        """Rebuild a coordinator from its write-ahead journal.
+
+        ``units`` must be the same unit table the crashed coordinator
+        served (it is deterministic in the CLI flow: same experiments,
+        same ``--units``); the journal is replayed over it, then every
+        lease still live at the crash is requeued — counted in
+        ``reassigned`` and journaled, so a second recovery agrees.
+        Tolerates a torn trailing line (the crash may have been
+        mid-append) and duplicate or late entries.
+        """
+        coordinator = cls(units, lease_ttl=lease_ttl, clock=clock)
+        for event in read_jsonl(journal_path):
+            coordinator._replay(event)
+        coordinator.journal_path = os.fspath(journal_path)
+        with coordinator._lock:
+            for unit_id, state in coordinator._state.items():
+                if state != _LEASED:
+                    continue
+                coordinator._journal(
+                    {"event": "expire", "unit": unit_id, "recovered": True}
+                )
+                coordinator._state[unit_id] = _PENDING
+                coordinator._worker.pop(unit_id, None)
+                coordinator._deadline.pop(unit_id, None)
+                coordinator.reassigned += 1
+        return coordinator
+
+    def _replay(self, event: Dict[str, Any]) -> None:
+        """Apply one journaled transition verbatim (no re-journaling)."""
+        kind = event.get("event")
+        if kind not in ("lease", "renew", "complete", "release", "expire"):
+            return  # foreign/future record: ignore, like torn lines
+        try:
+            unit_id = int(event["unit"])
+        except (KeyError, TypeError, ValueError):
+            return
+        if unit_id not in self._units:
+            raise ConfigurationError(
+                f"journal references unknown unit {unit_id}; this journal "
+                f"belongs to a different sweep than the supplied unit table"
+            )
+        state = self._state[unit_id]
+        if kind == "lease":
+            self._state[unit_id] = _LEASED
+            self._worker[unit_id] = str(event.get("worker", "?"))
+            self._deadline[unit_id] = self._clock() + self.lease_ttl
+            attempt = event.get("attempt")
+            self._attempts[unit_id] = max(
+                self._attempts[unit_id] + 1,
+                int(attempt) if attempt is not None else 0,
+            )
+        elif kind == "renew":
+            if state == _LEASED:
+                self._deadline[unit_id] = self._clock() + self.lease_ttl
+        elif kind == "complete":
+            if state == _COMPLETED:
+                return  # duplicate entry: already counted
+            self._state[unit_id] = _COMPLETED
+            self._completed_by[unit_id] = str(event.get("worker", "?"))
+            self._worker.pop(unit_id, None)
+            self._deadline.pop(unit_id, None)
+            if event.get("verdict") == "late":
+                self.late += 1
+        elif kind in ("release", "expire"):
+            if state != _LEASED:
+                return  # duplicate entry: the lease is already gone
+            self._state[unit_id] = _PENDING
+            self._worker.pop(unit_id, None)
+            self._deadline.pop(unit_id, None)
+            if kind == "expire":
+                self.reassigned += 1
 
     # ------------------------------------------------------------------
     # control-plane verbs
@@ -178,10 +313,19 @@ class SweepCoordinator:
             for unit_id in sorted(self._units):
                 if self._state[unit_id] != _PENDING:
                     continue
+                attempt = self._attempts[unit_id] + 1
+                self._journal(
+                    {
+                        "event": "lease",
+                        "unit": unit_id,
+                        "worker": worker_id,
+                        "attempt": attempt,
+                    }
+                )
                 self._state[unit_id] = _LEASED
                 self._worker[unit_id] = worker_id
                 self._deadline[unit_id] = self._clock() + self.lease_ttl
-                self._attempts[unit_id] += 1
+                self._attempts[unit_id] = attempt
                 return LeaseReply(self._units[unit_id], self._attempts[unit_id])
             return LeaseReply(None, 0, self._done_locked())
 
@@ -193,6 +337,7 @@ class SweepCoordinator:
                 return False
             if self._worker.get(unit_id) != worker_id:
                 return False
+            self._journal({"event": "renew", "unit": unit_id, "worker": worker_id})
             self._deadline[unit_id] = self._clock() + self.lease_ttl
             return True
 
@@ -205,15 +350,34 @@ class SweepCoordinator:
             state = self._state[unit_id]
             if state == _COMPLETED:
                 return "duplicate"
+            if self._attempts[unit_id] == 0:
+                # A completion for a unit nobody ever leased is a
+                # mis-addressed worker, not a late straggler: there is
+                # no pushed payload for it, so accepting would let
+                # wait_until_done return with data missing.
+                raise ConfigurationError(
+                    f"unit {unit_id} was never leased; refusing completion "
+                    f"from worker {worker_id!r}"
+                )
             holder = self._worker.get(unit_id)
+            verdict = (
+                "completed" if state == _LEASED and holder == worker_id else "late"
+            )
+            self._journal(
+                {
+                    "event": "complete",
+                    "unit": unit_id,
+                    "worker": worker_id,
+                    "verdict": verdict,
+                }
+            )
             self._state[unit_id] = _COMPLETED
             self._completed_by[unit_id] = worker_id
             self._worker.pop(unit_id, None)
             self._deadline.pop(unit_id, None)
-            if state == _LEASED and holder == worker_id:
-                return "completed"
-            self.late += 1
-            return "late"
+            if verdict == "late":
+                self.late += 1
+            return verdict
 
     def release(self, worker_id: str, unit_id: int) -> bool:
         """Voluntarily return a held lease to the pending pool."""
@@ -223,6 +387,7 @@ class SweepCoordinator:
                 return False
             if self._worker.get(unit_id) != worker_id:
                 return False
+            self._journal({"event": "release", "unit": unit_id, "worker": worker_id})
             self._state[unit_id] = _PENDING
             self._worker.pop(unit_id, None)
             self._deadline.pop(unit_id, None)
@@ -238,6 +403,7 @@ class SweepCoordinator:
         requeued = []
         for unit_id, state in self._state.items():
             if state == _LEASED and self._deadline[unit_id] <= now:
+                self._journal({"event": "expire", "unit": unit_id})
                 self._state[unit_id] = _PENDING
                 self._worker.pop(unit_id, None)
                 self._deadline.pop(unit_id, None)
@@ -273,6 +439,14 @@ class SweepCoordinator:
                 for unit_id, state in self._state.items()
                 if state == _LEASED
             }
+            sweeps: Dict[str, Dict[str, int]] = {}
+            for unit_id, unit in self._units.items():
+                entry = sweeps.setdefault(
+                    unit.sweep,
+                    {"total": 0, _PENDING: 0, _LEASED: 0, _COMPLETED: 0},
+                )
+                entry["total"] += 1
+                entry[self._state[unit_id]] += 1
             return {
                 "total": len(self._units),
                 "pending": counts[_PENDING],
@@ -281,6 +455,7 @@ class SweepCoordinator:
                 "reassigned": self.reassigned,
                 "late": self.late,
                 "leases": leases,
+                "sweeps": dict(sorted(sweeps.items())),
                 "done": self._done_locked(),
             }
 
@@ -404,23 +579,34 @@ class HTTPTransport(Transport):
 
     name = "http"
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, token: Optional[str] = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     def push(self, store_root: str, name: str) -> str:
         body = json.dumps({"files": _store_files(store_root)}).encode("utf-8")
         url = f"{self.base_url}/push?name={urllib.parse.quote(name)}"
-        reply = _http_json(url, body, self.timeout)
+        reply = _http_json(url, body, self.timeout, token=self.token)
         return str(reply["stored"])
 
 
-def _http_json(url: str, body: Optional[bytes], timeout: float) -> Dict[str, Any]:
+def _http_json(
+    url: str,
+    body: Optional[bytes],
+    timeout: float,
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
     """One JSON request/response round trip, errors normalized."""
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["X-Auth-Token"] = token
     request = urllib.request.Request(
         url,
         data=body,
-        headers={"Content-Type": "application/json"},
+        headers=headers,
         method="POST" if body is not None else "GET",
     )
     try:
@@ -454,13 +640,33 @@ class _ControlHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _authorized(self) -> bool:
+        """Shared-token check, applied to every verb before dispatch.
+
+        A missing or wrong token must never reach coordinator state —
+        the caller gets a 401 and nothing else happens. Comparison is
+        constant-time; no token configured means an open coordinator
+        (the PR 5 behavior, fine on a trusted network).
+        """
+        expected = getattr(self.server, "auth_token", None)
+        if not expected:
+            return True
+        supplied = self.headers.get("X-Auth-Token", "")
+        return hmac.compare_digest(supplied, expected)
+
     def do_GET(self) -> None:
+        if not self._authorized():
+            self._reply(401, {"error": "missing or invalid auth token"})
+            return
         if urllib.parse.urlparse(self.path).path == "/status":
             self._reply(200, self.server.coordinator.status())
         else:
             self._reply(404, {"error": f"unknown endpoint {self.path}"})
 
     def do_POST(self) -> None:
+        if not self._authorized():
+            self._reply(401, {"error": "missing or invalid auth token"})
+            return
         parsed = urllib.parse.urlparse(self.path)
         length = int(self.headers.get("Content-Length", 0))
         try:
@@ -516,16 +722,29 @@ class CoordinatorServer:
         staging_root: str,
         host: str = "127.0.0.1",
         port: int = 0,
+        auth_token: Optional[str] = None,
     ) -> None:
         self._httpd = ThreadingHTTPServer((host, port), _ControlHandler)
         self._httpd.daemon_threads = True
         self._httpd.coordinator = coordinator
         self._httpd.staging_root = os.fspath(staging_root)
+        self._httpd.auth_token = auth_token
         self._thread: Optional[threading.Thread] = None
 
     @property
     def url(self) -> str:
+        """A dialable base URL for workers.
+
+        A wildcard bind (0.0.0.0 / ::) listens everywhere but dials
+        nowhere — printing it as the worker join URL sends workers to
+        their own loopback. Substitute a name that resolves to this
+        host from elsewhere.
+        """
         host, port = self._httpd.server_address[:2]
+        if host in ("0.0.0.0", "::", ""):
+            host = socket.getfqdn() or socket.gethostname()
+        if ":" in host:
+            host = f"[{host}]"  # bare IPv6 addresses need brackets in URLs
         return f"http://{host}:{port}"
 
     def start(self) -> "CoordinatorServer":
@@ -556,13 +775,18 @@ class CoordinatorClient:
     in-process coordinator) or a remote coordinator over HTTP.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, token: Optional[str] = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         body = json.dumps(payload).encode("utf-8")
-        return _http_json(f"{self.base_url}{path}", body, self.timeout)
+        return _http_json(
+            f"{self.base_url}{path}", body, self.timeout, token=self.token
+        )
 
     def lease(self, worker_id: str) -> LeaseReply:
         reply = self._post("/lease", {"worker": worker_id})
@@ -585,7 +809,9 @@ class CoordinatorClient:
         return bool(reply["ok"])
 
     def status(self) -> Dict[str, Any]:
-        return _http_json(f"{self.base_url}/status", None, self.timeout)
+        return _http_json(
+            f"{self.base_url}/status", None, self.timeout, token=self.token
+        )
 
 
 # ----------------------------------------------------------------------
@@ -649,16 +875,27 @@ def run_worker(
             store.close()
             push_name = f"u{unit.unit_id:04d}-a{attempt:02d}-{worker_id}"
             transport.push(store_root, push_name)
+        except CoordinatorUnavailable:
+            # The coordinator died mid-push: end the loop like the
+            # lease/complete paths do (the scratch store stays on disk;
+            # a --resume'd coordinator will re-lease the unit).
+            store.close()
+            break
         except BaseException:
             # Both a failed compute and a failed push strand the unit
             # otherwise: release it so another worker takes over now
-            # rather than after TTL expiry.
+            # rather than after TTL expiry. The scratch store is kept
+            # for debugging.
             store.close()
             try:
                 control.release(worker_id, unit.unit_id)
             except CoordinatorUnavailable:
                 pass
             raise
+        # The push is durably staged: the per-attempt scratch store has
+        # done its job. Without this, a long-lived worker's scratch
+        # directory grows by one store per attempt, without bound.
+        shutil.rmtree(store_root, ignore_errors=True)
         try:
             verdict = control.complete(worker_id, unit.unit_id)
         except CoordinatorUnavailable:

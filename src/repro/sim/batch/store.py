@@ -105,6 +105,58 @@ def spec_key(task_name: str, spec: TrialSpec,
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def open_jsonl_append(path: Union[str, os.PathLike]) -> IO[str]:
+    """Open ``path`` for appending JSONL records, healing a torn tail.
+
+    A crash mid-append can leave the file without a trailing newline;
+    terminate the torn line first, or the next record would fuse with
+    it and both lines would be lost on load. Shared by the store's
+    shard files and the coordinator's write-ahead journal
+    (:mod:`repro.sim.batch.distrib`).
+    """
+    path = os.fspath(path)
+    torn = False
+    if os.path.exists(path) and os.path.getsize(path) > 0:
+        with open(path, "rb") as existing:
+            existing.seek(-1, os.SEEK_END)
+            torn = existing.read(1) != b"\n"
+    handle = open(path, "a", encoding="utf-8")
+    if torn:
+        handle.write("\n")
+    return handle
+
+
+def append_jsonl(handle: IO[str], record: Dict[str, Any]) -> None:
+    """Append one record as a JSON line with flush+fsync durability."""
+    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> Iterator[Dict[str, Any]]:
+    """Parsed dict records from a JSONL file, torn/blank lines skipped.
+
+    A line that fails to parse was never acknowledged (a torn write
+    from a crash mid-append), so skipping it is the correct resume
+    semantics; non-dict lines are foreign and skipped too. A missing
+    file yields nothing.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
 def _shard_filename(task_name: str) -> str:
     """Stable, filesystem-safe shard file name for a task namespace."""
     safe = re.sub(r"[^A-Za-z0-9._-]", "_", task_name)
@@ -145,29 +197,15 @@ class TrialStore:
         for name in sorted(os.listdir(self._shard_dir)):
             if not name.endswith(".jsonl"):
                 continue
-            path = os.path.join(self._shard_dir, name)
-            with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        # Torn write from a crash mid-append: the record
-                        # was never acknowledged, so skipping it is the
-                        # correct resume semantics.
-                        continue
-                    if not isinstance(record, dict):
-                        continue
-                    key = record.get("key")
-                    if not isinstance(key, str) or "task" not in record:
-                        continue
-                    if key not in self._records:
-                        self._records[key] = record
-                        self._order.append(key)
-                        task = record["task"]
-                        self._counts[task] = self._counts.get(task, 0) + 1
+            for record in read_jsonl(os.path.join(self._shard_dir, name)):
+                key = record.get("key")
+                if not isinstance(key, str) or "task" not in record:
+                    continue
+                if key not in self._records:
+                    self._records[key] = record
+                    self._order.append(key)
+                    task = record["task"]
+                    self._counts[task] = self._counts.get(task, 0) + 1
 
     # ------------------------------------------------------------------
     # cache protocol used by run_trials
@@ -181,18 +219,32 @@ class TrialStore:
 
     def put(self, task_name: str, spec: TrialSpec,
             result: TrialResult) -> None:
-        """Checkpoint one completed trial (idempotent on repeat keys)."""
+        """Checkpoint one completed trial.
+
+        Re-putting an identical result is an idempotent no-op; a
+        *different* result for an existing key raises — the store
+        claims to cache a deterministic computation, so silently
+        keeping the old payload would paper over exactly the kind of
+        divergence :func:`merge_stores` refuses to merge.
+        """
         key = spec_key(task_name, spec)
-        if key in self._records:
-            return
-        self._append({
+        record = {
             "version": RESULT_FORMAT_VERSION,
             "task": task_name,
             "key": key,
             "spec": canonical_spec(spec),
             "ok": bool(result.ok),
             "data": _encode(result.data),
-        })
+        }
+        existing = self._records.get(key)
+        if existing is not None:
+            if existing == record:
+                return
+            raise ConfigurationError(
+                f"conflicting result for key {key} (task {task_name!r}): "
+                f"stored {existing!r} vs incoming {record!r} — a "
+                f"deterministic trial produced two different payloads")
+        self._append(record)
 
     # ------------------------------------------------------------------
     # raw record plumbing (merge, listing)
@@ -201,25 +253,12 @@ class TrialStore:
         path = os.path.join(self._shard_dir, _shard_filename(task_name))
         handle = self._handles.get(path)
         if handle is None:
-            # A crash mid-append can leave the file without a trailing
-            # newline; terminate the torn line first, or the next record
-            # would fuse with it and both lines would be lost on load.
-            torn = False
-            if os.path.exists(path) and os.path.getsize(path) > 0:
-                with open(path, "rb") as existing:
-                    existing.seek(-1, os.SEEK_END)
-                    torn = existing.read(1) != b"\n"
-            handle = open(path, "a", encoding="utf-8")
-            if torn:
-                handle.write("\n")
+            handle = open_jsonl_append(path)
             self._handles[path] = handle
         return handle
 
     def _append(self, record: Dict[str, Any], write_index: bool = True) -> None:
-        handle = self._handle_for(record["task"])
-        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+        append_jsonl(self._handle_for(record["task"]), record)
         self._records[record["key"]] = record
         self._order.append(record["key"])
         task = record["task"]

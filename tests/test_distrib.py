@@ -14,8 +14,12 @@ The load-bearing guarantees, each pinned here without subprocesses:
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import socket
 import threading
+import time
 
 import pytest
 
@@ -42,9 +46,18 @@ from repro.sim.batch import (
     run_worker,
     wait_until_done,
 )
-from repro.sim.batch.distrib import write_pushed_store
+from repro.sim.batch.distrib import JOURNAL_NAME, write_pushed_store
+from repro.sim.batch.store import read_jsonl
 
 FLOOD_TASK_NAME = "repro.sim.batch.tasks.flood_min_trial"
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
 
 
 class FakeClock:
@@ -193,6 +206,31 @@ class TestLeases:
         with pytest.raises(ConfigurationError, match="unknown unit"):
             coordinator.complete("a", 99)
 
+    def test_never_leased_completion_is_rejected(self):
+        """Regression: a mis-addressed worker could mark a unit done with
+        no payload in staging, and wait_until_done returned data-short."""
+        coordinator = SweepCoordinator(_units(2), lease_ttl=5, clock=FakeClock())
+        with pytest.raises(ConfigurationError, match="never leased"):
+            coordinator.complete("stray", 1)
+        status = coordinator.status()
+        assert status["pending"] == 2 and status["completed"] == 0
+        assert not coordinator.done
+
+    def test_status_breaks_down_per_sweep(self):
+        units = [
+            WorkUnit.of(0, "e06", 0, 2),
+            WorkUnit.of(1, "e06", 1, 2),
+            WorkUnit.of(2, "e08", 0, 1),
+        ]
+        coordinator = SweepCoordinator(units, lease_ttl=5, clock=FakeClock())
+        coordinator.lease("a")
+        coordinator.complete("a", 0)
+        coordinator.lease("b")
+        assert coordinator.status()["sweeps"] == {
+            "e06": {"total": 2, "pending": 0, "leased": 1, "completed": 1},
+            "e08": {"total": 1, "pending": 1, "leased": 0, "completed": 0},
+        }
+
     def test_wait_until_done_times_out_loudly(self):
         clock = FakeClock()
         coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
@@ -200,6 +238,163 @@ class TestLeases:
             wait_until_done(
                 coordinator, poll=1, sleep=clock.advance, timeout=3, clock=clock
             )
+
+
+class TestJournal:
+    """The write-ahead journal: every transition survives a crash."""
+
+    def _scripted(self, tmp_path):
+        """Drive every transition kind, ending with one live lease."""
+        clock = FakeClock()
+        journal = str(tmp_path / JOURNAL_NAME)
+        units = _units(3)
+        coordinator = SweepCoordinator(
+            units, lease_ttl=5, clock=clock, journal_path=journal
+        )
+        assert coordinator.lease("a").unit.unit_id == 0
+        assert coordinator.lease("b").unit.unit_id == 1
+        assert coordinator.renew("a", 0)
+        assert coordinator.complete("a", 0) == "completed"
+        assert coordinator.release("b", 1)
+        assert coordinator.lease("c").unit.unit_id == 1
+        clock.advance(5.1)
+        assert coordinator.expire() == [1]
+        assert coordinator.lease("d").unit.unit_id == 1
+        assert coordinator.complete("c", 1) == "late"
+        assert coordinator.complete("d", 1) == "duplicate"
+        assert coordinator.lease("e").unit.unit_id == 2
+        coordinator.close()
+        return units, journal, coordinator
+
+    def test_journal_records_every_transition(self, tmp_path):
+        _units_, journal, _ = self._scripted(tmp_path)
+        events = [(e["event"], e["unit"]) for e in read_jsonl(journal)]
+        assert events == [
+            ("lease", 0),
+            ("lease", 1),
+            ("renew", 0),
+            ("complete", 0),
+            ("release", 1),
+            ("lease", 1),
+            ("expire", 1),
+            ("lease", 1),
+            ("complete", 1),
+            ("lease", 2),
+        ]  # the duplicate completion changed nothing and is absent
+
+    def test_recover_restores_state_and_requeues_live_leases(self, tmp_path):
+        units, journal, original = self._scripted(tmp_path)
+        recovered = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        status = recovered.status()
+        assert status["completed"] == 2 and status["pending"] == 1
+        assert status["leased"] == 0  # unit 2's live lease was requeued
+        assert recovered.late == 1
+        assert recovered.reassigned == original.reassigned + 1
+        assert recovered._attempts == {0: 1, 1: 3, 2: 1}
+        # The requeued unit is re-leasable, attempt count intact.
+        reply = recovered.lease("w")
+        assert reply.unit.unit_id == 2 and reply.attempt == 2
+        recovered.close()
+
+    def test_second_recovery_agrees_with_first(self, tmp_path):
+        """Recovery itself journals its requeues, so it is replayable."""
+        units, journal, _ = self._scripted(tmp_path)
+        first = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        first.close()
+        second = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        assert second.status() == first.status()
+        assert second._attempts == first._attempts
+
+    def test_recover_at_every_journal_prefix(self, tmp_path):
+        """A crash can land between any two appends; every prefix recovers
+        with exactly the journaled completions and nothing leased."""
+        units, journal, _ = self._scripted(tmp_path)
+        with open(journal, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for cut in range(len(lines) + 1):
+            prefix_path = str(tmp_path / f"prefix-{cut}.jsonl")
+            with open(prefix_path, "w", encoding="utf-8") as handle:
+                handle.writelines(lines[:cut])
+            recovered = SweepCoordinator.recover(
+                units, prefix_path, lease_ttl=5, clock=FakeClock()
+            )
+            completions = sum(
+                1 for e in read_jsonl(prefix_path) if e["event"] == "complete"
+            )
+            status = recovered.status()
+            assert status["completed"] == completions
+            assert status["leased"] == 0
+            assert status["pending"] == 3 - completions
+            recovered.close()
+
+    def test_recover_tolerates_a_torn_trailing_line(self, tmp_path):
+        units, journal, _ = self._scripted(tmp_path)
+        first = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        first.close()
+        reference = first.status()
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"event":"complete","unit":2,"wor')  # crash mid-append
+        torn = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        assert torn.status() == reference
+        # A post-recovery transition heals the tail: still replayable.
+        torn.lease("w")
+        torn.close()
+        healed = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        assert healed.status()["completed"] == 2
+        healed.close()
+
+    def test_recover_tolerates_duplicate_and_stale_entries(self, tmp_path):
+        journal = str(tmp_path / "dup.jsonl")
+        events = [
+            {"event": "lease", "unit": 0, "worker": "a", "attempt": 1},
+            {"event": "complete", "unit": 0, "worker": "a", "verdict": "late"},
+            {"event": "complete", "unit": 0, "worker": "a", "verdict": "late"},
+            {"event": "expire", "unit": 0},
+            {"event": "release", "unit": 0, "worker": "a"},
+            {"event": "heartbeat", "detail": "future record kinds are skipped"},
+        ]
+        with open(journal, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        recovered = SweepCoordinator.recover(
+            _units(1), journal, lease_ttl=5, clock=FakeClock()
+        )
+        assert recovered.late == 1  # counted once despite the duplicate line
+        assert recovered.reassigned == 0  # expire/release after completion no-op
+        assert recovered.done
+
+    def test_recover_rejects_a_foreign_journal(self, tmp_path):
+        journal = str(tmp_path / "foreign.jsonl")
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write('{"event":"lease","unit":7,"worker":"a","attempt":1}\n')
+        with pytest.raises(ConfigurationError, match="unknown unit"):
+            SweepCoordinator.recover(_units(2), journal)
+
+    def test_recovered_coordinator_keeps_journaling(self, tmp_path):
+        units, journal, _ = self._scripted(tmp_path)
+        recovered = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        recovered.lease("w")
+        assert recovered.complete("w", 2) == "completed"
+        recovered.close()
+        final = SweepCoordinator.recover(
+            units, journal, lease_ttl=5, clock=FakeClock()
+        )
+        assert final.done
+        final.close()
 
 
 class TestTransports:
@@ -340,6 +535,89 @@ class TestHTTPControlPlane:
         client = CoordinatorClient("http://127.0.0.1:9", timeout=2)
         with pytest.raises(CoordinatorUnavailable):
             client.lease("w")
+
+    def test_wildcard_bind_gets_a_dialable_url(self, tmp_path):
+        """Regression: 0.0.0.0 listens everywhere but dials nowhere —
+        the printed worker join URL must carry a reachable host."""
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        server = CoordinatorServer(
+            coordinator, str(tmp_path / "staging"), host="0.0.0.0"
+        )
+        with server:
+            assert "0.0.0.0" not in server.url
+            host = server.url[len("http://"):].rsplit(":", 1)[0]
+            assert host  # hostname/FQDN substituted for the wildcard
+
+    def test_loopback_bind_url_is_unchanged(self, tmp_path):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        with CoordinatorServer(coordinator, str(tmp_path / "staging")) as server:
+            assert server.url.startswith("http://127.0.0.1:")
+
+
+class TestControlPlaneAuth:
+    """The shared-token gate: 401 on bad tokens, no state change ever."""
+
+    TOKEN = "s3cret"
+
+    def _server(self, tmp_path):
+        coordinator = SweepCoordinator(_units(2), lease_ttl=30)
+        server = CoordinatorServer(
+            coordinator, str(tmp_path / "staging"), auth_token=self.TOKEN
+        )
+        return coordinator, server
+
+    def _source_store(self, tmp_path) -> str:
+        source = TrialStore(tmp_path / "src")
+        spec = TrialSpec.of("cycle", 12, 3)
+        source.put("t", spec, _probe_task(spec))
+        source.close()
+        return str(tmp_path / "src")
+
+    def test_right_token_speaks_every_verb(self, tmp_path):
+        coordinator, server = self._server(tmp_path)
+        source = self._source_store(tmp_path)
+        with server:
+            client = CoordinatorClient(server.url, token=self.TOKEN)
+            assert client.lease("w").unit.unit_id == 0
+            assert client.renew("w", 0)
+            assert client.release("w", 0)
+            client.lease("w")
+            assert client.complete("w", 0) == "completed"
+            assert client.status()["completed"] == 1
+            HTTPTransport(server.url, token=self.TOKEN).push(source, "u0-a1-w")
+        assert len(pushed_store_dirs(str(tmp_path / "staging"))) == 1
+
+    @pytest.mark.parametrize("token", [None, "wrong"], ids=["missing", "wrong"])
+    def test_bad_token_is_401_on_every_verb_with_state_unchanged(
+        self, tmp_path, token
+    ):
+        coordinator, server = self._server(tmp_path)
+        source = self._source_store(tmp_path)
+        with server:
+            client = CoordinatorClient(server.url, token=token)
+            transport = HTTPTransport(server.url, token=token)
+            for verb in (
+                lambda: client.lease("w"),
+                lambda: client.renew("w", 0),
+                lambda: client.complete("w", 0),
+                lambda: client.release("w", 0),
+                lambda: client.status(),
+                lambda: transport.push(source, "evil"),
+            ):
+                with pytest.raises(ConfigurationError, match="401"):
+                    verb()
+        status = coordinator.status()
+        assert status["pending"] == 2 and status["completed"] == 0
+        assert coordinator.late == 0 and coordinator.reassigned == 0
+        assert pushed_store_dirs(str(tmp_path / "staging")) == []
+
+    def test_tokenless_server_stays_open(self, tmp_path):
+        """No token configured = the PR 5 behavior: open control plane."""
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        with CoordinatorServer(coordinator, str(tmp_path / "staging")) as server:
+            client = CoordinatorClient(server.url)
+            assert client.lease("w").unit.unit_id == 0
+            assert client.complete("w", 0) == "completed"
 
 
 class TestCoordinatedEndToEnd:
@@ -486,6 +764,47 @@ class TestCoordinatedEndToEnd:
                 worker_id="pusher",
             )
         assert coordinator.lease("next").unit.unit_id == 0
+        # The un-pushed results stay on disk for post-mortem debugging.
+        assert (tmp_path / "scratch" / "u0000-a01").is_dir()
+
+    def test_scratch_store_is_removed_after_acknowledged_push(self, tmp_path):
+        """Regression: per-attempt scratch stores piled up forever."""
+        specs = grid(["cycle"], [12], range(3), radius=12)
+        units = [WorkUnit.of(i, "flood", i, 3) for i in range(3)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+        scratch = tmp_path / "scratch"
+        stats = run_worker(
+            coordinator,
+            self._execute(specs),
+            DirTransport(str(tmp_path / "staging")),
+            str(scratch),
+            worker_id="tidy",
+        )
+        assert stats["completed"] == 3
+        assert list(scratch.iterdir()) == []  # every attempt cleaned up
+
+    def test_coordinator_death_mid_push_keeps_scratch_and_exits(self, tmp_path):
+        specs = grid(["cycle"], [12], range(1), radius=12)
+        units = [WorkUnit.of(0, "flood", 0, 1)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+
+        class DeadTransport(Transport):
+            def push(self, store_root, name):
+                raise CoordinatorUnavailable("connection refused")
+
+        scratch = tmp_path / "scratch"
+        stats = run_worker(
+            coordinator,
+            self._execute(specs),
+            DeadTransport(),
+            str(scratch),
+            worker_id="orphan",
+        )
+        assert stats["completed"] == 0
+        # Computed-but-unpushed results are kept: a --resume'd
+        # coordinator re-leases the unit and the work is redone, but
+        # nothing is silently deleted out from under the operator.
+        assert (scratch / "u0000-a01").is_dir()
 
     def test_two_concurrent_workers_split_the_units(self, tmp_path):
         specs = grid(["cycle", "path"], [12], range(3), radius=12)
@@ -564,3 +883,176 @@ class TestCoordinationCLI:
         for bad in ("nope", ":0", "h:x", "h:70000"):
             with pytest.raises(ConfigurationError):
                 parse_endpoint(bad)
+
+    def test_worker_mode_rejects_coordinator_only_flags(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["--worker", "http://h:1", "--resume"]) == 2
+        assert "coordinator flag" in capsys.readouterr().err
+        assert main(["--worker", "http://h:1", "--timeout", "5"]) == 2
+        assert "coordinator flag" in capsys.readouterr().err
+
+    def test_resume_without_a_journal_is_an_error(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        rc = main(
+            [
+                "--coordinator",
+                "127.0.0.1:0",
+                "--store",
+                str(tmp_path / "store"),
+                "--staging",
+                str(tmp_path / "staging"),
+                "--resume",
+                "e06",
+            ]
+        )
+        assert rc == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_timeout_turns_a_stalled_fleet_into_an_error(self, tmp_path, capsys):
+        """--timeout with no workers: loud failure, not an eternal hang."""
+        from repro.analysis.cli import main
+
+        rc = main(
+            [
+                "--coordinator",
+                "127.0.0.1:0",
+                "--store",
+                str(tmp_path / "store"),
+                "--staging",
+                str(tmp_path / "staging"),
+                "--timeout",
+                "0.2",
+                "e06",
+            ]
+        )
+        assert rc == 2
+        assert "did not complete" in capsys.readouterr().err
+
+    def test_resolve_auth_token_prefers_flag_over_env(self, monkeypatch):
+        from repro.analysis.coordinated import resolve_auth_token
+
+        args = argparse.Namespace(auth_token=None)
+        monkeypatch.delenv("REPRO_SWEEP_TOKEN", raising=False)
+        assert resolve_auth_token(args) is None
+        monkeypatch.setenv("REPRO_SWEEP_TOKEN", "from-env")
+        assert resolve_auth_token(args) == "from-env"
+        args.auth_token = "from-flag"
+        assert resolve_auth_token(args) == "from-flag"
+
+
+class _FakeTable:
+    def render(self) -> str:
+        return "efake ok"
+
+
+class TestCoordinatedCLIService:
+    """The full service cycle through the real CLI: run, refuse, resume."""
+
+    SPECS = grid(["cycle"], [12], range(4), radius=12)
+
+    @pytest.fixture
+    def fake_experiment(self, monkeypatch):
+        from repro.analysis import coordinated
+
+        specs = self.SPECS
+
+        def driver(
+            quick=True, seed=1, workers=None, store=None, shard=None, progress=None
+        ):
+            run_trials(
+                flood_min_trial, specs, store=store, shard=shard, progress=progress
+            )
+            return _FakeTable()
+
+        monkeypatch.setitem(coordinated.EXPERIMENTS, "efake", driver)
+        monkeypatch.setattr(
+            coordinated, "SWEEPING", set(coordinated.SWEEPING) | {"efake"}
+        )
+
+    def _wait_for_server(self, url: str, timeout: float = 20.0) -> None:
+        client = CoordinatorClient(url, timeout=1)
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            try:
+                client.status()
+                return
+            except CoordinatorUnavailable:
+                time.sleep(0.05)
+        raise AssertionError(f"coordinator at {url} never came up")
+
+    def test_run_then_cold_refusal_then_resume_byte_identical(
+        self, tmp_path, fake_experiment, capsys
+    ):
+        from repro.analysis.cli import main
+
+        single = TrialStore(tmp_path / "single")
+        run_trials(flood_min_trial, self.SPECS, store=single)
+        single.close()
+
+        port = _free_port()
+        store = str(tmp_path / "store")
+        staging = str(tmp_path / "staging")
+        coordinator_argv = [
+            "--coordinator",
+            f"127.0.0.1:{port}",
+            "--store",
+            store,
+            "--staging",
+            staging,
+            "--units",
+            "2",
+            "--timeout",
+            "60",
+            "efake",
+        ]
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(rc=main(coordinator_argv))
+        )
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{port}"
+            self._wait_for_server(url)
+            worker_rc = main(
+                [
+                    "--worker",
+                    url,
+                    "--poll",
+                    "0.01",
+                    "--scratch",
+                    str(tmp_path / "scratch"),
+                ]
+            )
+        finally:
+            thread.join(timeout=60)
+        assert worker_rc == 0
+        assert result == {"rc": 0}
+        assert _store_bytes(store) == _store_bytes(str(tmp_path / "single"))
+        journal = os.path.join(staging, JOURNAL_NAME)
+        assert os.path.exists(journal)
+
+        # A cold restart over the same staging area must refuse: the
+        # journal records an in-flight (here: finished) sweep.
+        restart_argv = [
+            "--coordinator",
+            f"127.0.0.1:{_free_port()}",
+            "--store",
+            str(tmp_path / "store2"),
+            "--staging",
+            staging,
+            "--units",
+            "2",
+            "efake",
+        ]
+        assert main(restart_argv) == 2
+        assert "pass --resume" in capsys.readouterr().err
+
+        # --resume replays the journal (everything already complete, so
+        # no workers are needed) and repacks the staged pushes into a
+        # fresh store — byte-identical to the first merge.
+        assert main(restart_argv + ["--resume", "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out and "2/2 unit(s) already complete" in out
+        assert _store_bytes(str(tmp_path / "store2")) == _store_bytes(store)

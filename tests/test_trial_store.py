@@ -156,6 +156,31 @@ class TestStoreRoundTrip:
         store.put("t", spec, _probe_task(spec))
         assert len(store) == 1
 
+    def test_put_conflicting_result_raises(self, tmp_path):
+        """Regression: a divergent payload for an existing key used to be
+        silently dropped; it must raise like merge_stores' conflict rule."""
+        store = TrialStore(tmp_path)
+        spec = TrialSpec.of("cycle", 12, 3)
+        store.put("t", spec, TrialResult(spec, True, {"x": 1}))
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            store.put("t", spec, TrialResult(spec, True, {"x": 2}))
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            store.put("t", spec, TrialResult(spec, False, {"x": 1}))
+        # The stored record is untouched by the rejected puts.
+        assert store.get("t", spec) == TrialResult(spec, True, {"x": 1})
+        assert len(store) == 1
+
+    def test_put_conflict_detected_across_reopen(self, tmp_path):
+        """Disk-loaded records compare equal to identical fresh ones
+        (idempotent re-put) and unequal to divergent ones (conflict)."""
+        spec = TrialSpec.of("cycle", 12, 3)
+        TrialStore(tmp_path).put("t", spec, _probe_task(spec))
+        reopened = TrialStore(tmp_path)
+        reopened.put("t", spec, _probe_task(spec))
+        assert len(reopened) == 1
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            reopened.put("t", spec, TrialResult(spec, True, {"seed": -1}))
+
     def test_describe_lists_tasks(self, tmp_path):
         store = TrialStore(tmp_path)
         spec = TrialSpec.of("cycle", 12, 3)
