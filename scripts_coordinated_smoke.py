@@ -14,17 +14,28 @@ two workers are launched as real subprocesses; then, depending on
   journal, requeues the interrupted lease, and a fresh worker fleet
   finishes the sweep.
 
-Either way the merged-and-repacked store must come out byte-for-byte
-identical to a single-host run — the coordinator's core guarantee,
-exercised through genuine process death rather than a simulated one.
-The store directories (journal included) are left on disk for CI to
-upload as artifacts.
+``--chaos`` runs the nastiest scenario instead: every worker runs
+under the seeded fault-injection layer (dropped/delayed/duplicated
+control calls, 503s, truncated pushes), one unit is poisoned so the
+whole fleet fails it, and the coordinator is SIGKILLed mid-sweep and
+restarted with ``--resume`` on the same port. The SAME worker fleet
+must ride out the outage on its retry budget (no relaunch), the
+poison unit must be quarantined after exactly ``--max-attempts``
+attempts and reported in ``quarantine.json``, and the coordinator must
+backfill it locally.
+
+Every scenario ends the same way: the merged-and-repacked store must
+come out byte-for-byte identical to a single-host run — the
+coordinator's core guarantee, exercised through genuine process death
+rather than a simulated one. The store directories (journal and
+quarantine report included) are left on disk for CI to upload as
+artifacts.
 
 Usage::
 
     PYTHONPATH=src python scripts_coordinated_smoke.py \\
         [--dir coordinated-store] [--transport http|dir] \\
-        [--kill worker|coordinator]
+        [--kill worker|coordinator] [--chaos [--chaos-seed N]]
 """
 
 import argparse
@@ -33,6 +44,7 @@ import os
 import re
 import shutil
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -48,7 +60,9 @@ from repro.sim.batch import TrialStore  # noqa: E402
 from repro.sim.batch.distrib import JOURNAL_NAME  # noqa: E402
 
 _URL_PATTERN = re.compile(r"coordinator listening on (http://\S+)")
-_SUMMARY_PATTERN = re.compile(r"units=(\d+) reassigned=(\d+) late=(\d+)")
+_SUMMARY_PATTERN = re.compile(
+    r"units=(\d+) quarantined=(\d+) reassigned=(\d+) late=(\d+)"
+)
 
 
 def _child_env():
@@ -105,7 +119,15 @@ def _store_bytes(root):
     return contents
 
 
-def _coordinator_argv(args, merged_dir, staging_dir, resume=False):
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _coordinator_argv(
+    args, merged_dir, staging_dir, resume=False, endpoint="127.0.0.1:0", extra=()
+):
     argv = [
         "-m",
         "repro.analysis",
@@ -117,18 +139,19 @@ def _coordinator_argv(args, merged_dir, staging_dir, resume=False):
         "--staging",
         staging_dir,
         "--coordinator",
-        "127.0.0.1:0",
+        endpoint,
         "--units",
         "4",
         "--lease-ttl",
         "3",
     ]
+    argv += list(extra)
     if resume:
         argv.append("--resume")
     return argv
 
 
-def _worker_argv(args, url, worker_id, throttle, staging_dir):
+def _worker_argv(args, url, worker_id, throttle, staging_dir, extra=()):
     argv = [
         "-m",
         "repro.analysis",
@@ -145,6 +168,7 @@ def _worker_argv(args, url, worker_id, throttle, staging_dir):
     ]
     if args.transport == "dir":
         argv += ["--transport-dir", staging_dir]
+    argv += list(extra)
     return argv
 
 
@@ -173,12 +197,13 @@ def _parse_summary(coordinator):
         raise AssertionError(f"coordinator exited {coordinator.returncode}")
     summary = _SUMMARY_PATTERN.search(log)
     assert summary, f"no summary line in coordinator output:\n{log}"
-    units, reassigned, late = map(int, summary.groups())
+    units, quarantined, reassigned, late = map(int, summary.groups())
     print(
-        f"coordinator summary: units={units} reassigned={reassigned} late={late}",
+        f"coordinator summary: units={units} quarantined={quarantined} "
+        f"reassigned={reassigned} late={late}",
         flush=True,
     )
-    return units, reassigned, late
+    return units, quarantined, reassigned, late
 
 
 def _worker_kill_scenario(args, merged_dir, staging_dir):
@@ -223,12 +248,13 @@ def _worker_kill_scenario(args, merged_dir, staging_dir):
     finally:
         _reap([coordinator] + workers)
 
-    units, reassigned, late = _parse_summary(coordinator)
+    units, quarantined, reassigned, late = _parse_summary(coordinator)
     assert reassigned >= 1, (
         "the killed worker's lease was never reassigned — the kill window "
         "missed; see workerA.log / coordinator.log"
     )
-    return units, reassigned, late
+    assert quarantined == 0, "a healthy sweep quarantined a unit"
+    return units, quarantined, reassigned, late
 
 
 def _coordinator_kill_scenario(args, merged_dir, staging_dir):
@@ -308,12 +334,154 @@ def _coordinator_kill_scenario(args, merged_dir, staging_dir):
     assert "resumed from" in resumed_log, (
         f"the restarted coordinator did not replay the journal:\n{resumed_log}"
     )
-    units, reassigned, late = _parse_summary(resumed)
+    units, quarantined, reassigned, late = _parse_summary(resumed)
     assert reassigned >= 1, (
         "the lease that was live at the kill was never requeued — recovery "
         "missed it; see coordinator-resumed.log / journal.jsonl"
     )
-    return units, reassigned, late
+    assert quarantined == 0, "a healthy sweep quarantined a unit"
+    return units, quarantined, reassigned, late
+
+
+_POISON_UNIT = 2
+_MAX_ATTEMPTS = 3
+
+
+def _chaos_scenario(args, merged_dir, staging_dir):
+    """Faults everywhere, one poison unit, and a coordinator SIGKILL.
+
+    The same two workers must ride out all three on their retry budget:
+    nobody relaunches them, the poison unit is quarantined after
+    exactly ``_MAX_ATTEMPTS`` attempts, and the resumed coordinator
+    backfills its slice so the store still comes out byte-identical.
+    """
+    # A fixed port (instead of :0) so the resumed coordinator rebinds
+    # the URL the surviving workers are already retrying against.
+    endpoint = f"127.0.0.1:{_free_port()}"
+    coordinator_extra = ["--max-attempts", str(_MAX_ATTEMPTS)]
+    worker_extra = [
+        "--retries",
+        "10",
+        "--chaos",
+        str(args.chaos_seed),
+        "--chaos-poison",
+        str(_POISON_UNIT),
+    ]
+    coordinator = _spawn(
+        _coordinator_argv(
+            args, merged_dir, staging_dir, endpoint=endpoint, extra=coordinator_extra
+        ),
+        os.path.join(args.dir, "coordinator.log"),
+    )
+    workers = []
+    resumed = None
+    try:
+        url = _coordinator_url(coordinator)
+        # Worker A is throttled so a lease is reliably live at kill
+        # time; worker B races ahead so a completion lands first.
+        workers = [
+            _spawn(
+                _worker_argv(
+                    args, url, "workerA", 0.3, staging_dir, extra=worker_extra
+                ),
+                os.path.join(args.dir, "workerA.log"),
+            ),
+            _spawn(
+                _worker_argv(
+                    args, url, "workerB", 0.05, staging_dir, extra=worker_extra
+                ),
+                os.path.join(args.dir, "workerB.log"),
+            ),
+        ]
+
+        def sweep_mid_flight():
+            status = _status(url)
+            if status is None:
+                return None
+            if status["completed"] >= 1 and status["leased"] >= 1:
+                return status
+            return None
+
+        status = _wait_for(
+            sweep_mid_flight, 120, "a completed unit alongside a live lease"
+        )
+        os.kill(coordinator.pid, signal.SIGKILL)
+        coordinator.wait(timeout=30)
+        print(
+            f"killed the coordinator with {status['completed']} unit(s) "
+            f"complete and {status['leased']} lease(s) live",
+            flush=True,
+        )
+        # The acceptance bar: the SAME fleet survives the outage on its
+        # retry budget. Nobody may relaunch a worker.
+        for worker in workers:
+            assert worker.poll() is None, (
+                f"{os.path.basename(worker.log_path)} died with the "
+                f"coordinator instead of retrying through the outage"
+            )
+        resumed = _spawn(
+            _coordinator_argv(
+                args,
+                merged_dir,
+                staging_dir,
+                resume=True,
+                endpoint=endpoint,
+                extra=coordinator_extra,
+            ),
+            os.path.join(args.dir, "coordinator-resumed.log"),
+        )
+        _coordinator_url(resumed)
+        resumed.wait(timeout=args.timeout)
+        for worker in workers:
+            worker.wait(timeout=120)
+    finally:
+        _reap([coordinator] + workers + ([resumed] if resumed else []))
+
+    resumed_log = _read_log(resumed.log_path)
+    assert "resumed from" in resumed_log, (
+        f"the restarted coordinator did not replay the journal:\n{resumed_log}"
+    )
+    for worker in workers:
+        assert worker.returncode == 0, (
+            f"{os.path.basename(worker.log_path)} exited "
+            f"{worker.returncode}:\n{_read_log(worker.log_path)}"
+        )
+    units, quarantined, reassigned, late = _parse_summary(resumed)
+    assert quarantined == 1, (
+        f"expected exactly the poison unit quarantined, got {quarantined}; "
+        f"see coordinator-resumed.log"
+    )
+    report_path = os.path.join(staging_dir, "quarantine.json")
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    entry = report.get(str(_POISON_UNIT))
+    assert entry is not None, (
+        f"quarantine report {report_path} does not name unit "
+        f"{_POISON_UNIT}: {report}"
+    )
+    assert entry["attempts"] == _MAX_ATTEMPTS, (
+        f"poison unit burned {entry['attempts']} attempt(s), expected "
+        f"exactly --max-attempts={_MAX_ATTEMPTS}"
+    )
+    # Normally the worker's RuntimeError; if the final attempt's /fail
+    # was lost to the kill, the lease-side breaker reports the generic
+    # dead-worker diagnosis instead. Both name a real cause.
+    assert "poisoned" in entry["error"] or "expired" in entry["error"], (
+        f"unexpected last error: {entry}"
+    )
+    print(
+        f"quarantine report OK: unit {_POISON_UNIT} quarantined after "
+        f"{entry['attempts']} attempt(s), last error {entry['error']!r}",
+        flush=True,
+    )
+    retries = 0
+    for worker in workers:
+        match = re.search(r"(\d+) retrie\(s\)", _read_log(worker.log_path))
+        assert match, f"no worker summary in {worker.log_path}"
+        retries += int(match.group(1))
+    assert retries >= 1, "chaos never forced a retry — the fault plan is inert"
+    print(f"fleet absorbed {retries} retrie(s) without a relaunch", flush=True)
+    return units, quarantined, reassigned, late
 
 
 def main(argv=None):
@@ -329,6 +497,18 @@ def main(argv=None):
         choices=("worker", "coordinator"),
         default="worker",
         help="which process gets the SIGKILL mid-sweep (default: worker)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the chaos scenario instead of --kill: fault-injected "
+        "workers, a poisoned unit, and a coordinator SIGKILL + --resume",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=11,
+        help="seed for the workers' deterministic fault plans (default 11)",
     )
     parser.add_argument("--experiment", default="e06")
     parser.add_argument("--seed", type=int, default=1)
@@ -350,13 +530,23 @@ def main(argv=None):
         baseline_count = len(baseline_store)
     assert baseline_count > 0, "baseline sweep stored nothing"
 
-    if args.kill == "coordinator":
-        units, reassigned, late = _coordinator_kill_scenario(
+    if args.chaos:
+        units, quarantined, reassigned, late = _chaos_scenario(
+            args, merged_dir, staging_dir
+        )
+        verdict = (
+            "chaos faults absorbed, the poison unit quarantined, and the "
+            "coordinator SIGKILLed and resumed"
+        )
+    elif args.kill == "coordinator":
+        units, quarantined, reassigned, late = _coordinator_kill_scenario(
             args, merged_dir, staging_dir
         )
         verdict = "coordinator SIGKILLed and resumed"
     else:
-        units, reassigned, late = _worker_kill_scenario(args, merged_dir, staging_dir)
+        units, quarantined, reassigned, late = _worker_kill_scenario(
+            args, merged_dir, staging_dir
+        )
         verdict = "a worker SIGKILLed"
 
     baseline = _store_bytes(baseline_dir)
@@ -368,8 +558,8 @@ def main(argv=None):
     )
     print(
         f"coordinated-sweep smoke OK: {args.transport} transport, {verdict}, "
-        f"{units} units, {reassigned} reassigned, {late} late, store "
-        f"byte-identical to the single-host baseline "
+        f"{units} units, {quarantined} quarantined, {reassigned} reassigned, "
+        f"{late} late, store byte-identical to the single-host baseline "
         f"({baseline_count} result(s))",
         flush=True,
     )

@@ -37,6 +37,12 @@ plane and ``--timeout`` bounds the wait on a stalled fleet::
         --worker http://host:8642                                  # per worker
     PYTHONPATH=src python scripts_run_experiments.py --store runs/full \\
         --coordinator 0.0.0.0:8642 --resume                        # after a crash
+
+Workers retry transient failures with jittered exponential backoff
+(``--retries``); the coordinator quarantines units the whole fleet
+keeps failing (``--max-attempts``) and reports them in
+``quarantine.json``; ``--chaos SEED`` injects deterministic faults for
+drills (README "Fault model & troubleshooting").
 """
 import argparse
 import sys

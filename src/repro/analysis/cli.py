@@ -30,6 +30,14 @@ directory (write-ahead, fsynced per line), so ``--resume`` recovers an
 interrupted sweep exactly; ``--timeout`` bounds the wait on a stalled
 fleet and ``--auth-token``/``$REPRO_SWEEP_TOKEN`` gates the control
 plane with a shared secret.
+
+Fault tolerance (README "Fault model & troubleshooting"): workers retry
+transient control-plane and push failures with exponential backoff and
+deterministic jitter (``--retries``), the coordinator quarantines a
+unit the whole fleet keeps failing instead of re-leasing it forever
+(``--max-attempts``, reported in ``quarantine.json`` and backfilled
+locally at merge time), and ``--chaos SEED``/``--chaos-poison UNIT``
+inject deterministic faults for drills.
 """
 
 from __future__ import annotations

@@ -17,6 +17,13 @@ grow three coordination flags on top of PR 4's store/shard ones:
   POSTed to the coordinator (default) or copied into a shared
   directory (``--transport-dir``, the coordinator's staging area).
 
+Robustness knobs ride along: ``--retries`` gives workers a
+deterministic-jitter retry budget (they survive a coordinator restart
+instead of dying with it), ``--max-attempts`` is the coordinator's
+poison-unit quarantine threshold, and ``--chaos SEED`` /
+``--chaos-poison UNIT`` wrap a worker in the seeded fault-injection
+layer (:mod:`repro.sim.batch.faults`) for smoke tests and demos.
+
 The split of labor with :mod:`repro.sim.batch.distrib` is deliberate:
 distrib knows leases, transports, and stores but nothing about
 experiments; this module binds units to the E1–E11 drivers and to
@@ -26,6 +33,7 @@ argparse.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import tempfile
 import time
@@ -36,8 +44,12 @@ from ..sim.batch import (
     CoordinatorClient,
     CoordinatorServer,
     DirTransport,
+    FaultPlan,
+    FlakyControl,
+    FlakyTransport,
     HTTPTransport,
     ReadThroughStore,
+    RetryPolicy,
     SweepCoordinator,
     Transport,
     TrialStore,
@@ -47,8 +59,17 @@ from ..sim.batch import (
     run_worker,
     wait_until_done,
 )
-from ..sim.batch.distrib import JOURNAL_NAME, TOKEN_ENV_VAR
+from ..sim.batch.distrib import (
+    DEFAULT_MAX_ATTEMPTS,
+    JOURNAL_NAME,
+    TOKEN_ENV_VAR,
+    default_worker_id,
+)
 from .experiments import EXPERIMENTS, SWEEPING
+
+#: File name of the coordinator's quarantine report inside the staging
+#: directory (written whenever the sweep finishes; CI uploads it).
+QUARANTINE_REPORT_NAME = "quarantine.json"
 
 
 def add_coordination_arguments(parser: argparse.ArgumentParser) -> None:
@@ -158,6 +179,41 @@ def add_coordination_arguments(parser: argparse.ArgumentParser) -> None:
         "any verb without it (HTTP 401), workers send it with every "
         f"request (default: ${TOKEN_ENV_VAR}, else no authentication)",
     )
+    group.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="coordinator: quarantine a unit after N leases without a "
+        f"completion instead of re-leasing it forever (default "
+        f"{DEFAULT_MAX_ATTEMPTS}; 0 = never quarantine)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="worker: attempts per control-plane call and push before giving "
+        "up, with exponential backoff and deterministic jitter (default 8 — "
+        "enough patience to ride out a coordinator restart; 1 = fail fast)",
+    )
+    group.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="worker: inject deterministic faults (dropped/delayed/duplicated "
+        "calls, 503s, truncated pushes) on the schedule seeded here — the "
+        "recovery machinery must absorb all of it (testing/demo knob)",
+    )
+    group.add_argument(
+        "--chaos-poison",
+        type=int,
+        default=None,
+        metavar="UNIT",
+        help="worker: fail every execute of this unit id, simulating a "
+        "poison unit the coordinator must quarantine (testing/demo knob)",
+    )
 
 
 def resolve_auth_token(args: argparse.Namespace) -> Optional[str]:
@@ -264,6 +320,11 @@ def run_coordination(
                 "--timeout is a coordinator flag (the sweep deadline); "
                 "workers already stop when the coordinator goes away"
             )
+        if args.max_attempts is not None:
+            raise ConfigurationError(
+                "--max-attempts is a coordinator flag (the quarantine "
+                "threshold); workers just report failures — drop it"
+            )
         return run_worker_mode(args)
     return run_coordinator_mode(args, names, quick, seed)
 
@@ -277,6 +338,7 @@ def open_coordinator(
     interrupted sweep, and silently forgetting its lease history is
     exactly the failure mode the journal exists to prevent.
     """
+    max_attempts = resolve_max_attempts(args)
     if args.resume:
         if not os.path.exists(journal):
             raise ConfigurationError(
@@ -284,13 +346,13 @@ def open_coordinator(
                 f"(start without --resume to begin a fresh sweep)"
             )
         coordinator = SweepCoordinator.recover(
-            units, journal, lease_ttl=args.lease_ttl
+            units, journal, lease_ttl=args.lease_ttl, max_attempts=max_attempts
         )
         status = coordinator.status()
         print(
             f"resumed from {journal}: {status['completed']}/{status['total']} "
             f"unit(s) already complete, {status['pending']} requeued or "
-            f"pending",
+            f"pending, {status['quarantined']} quarantined",
             flush=True,
         )
         return coordinator
@@ -300,8 +362,55 @@ def open_coordinator(
             f"that sweep, or remove the staging directory to start cold"
         )
     return SweepCoordinator(
-        units, lease_ttl=args.lease_ttl, journal_path=journal
+        units,
+        lease_ttl=args.lease_ttl,
+        journal_path=journal,
+        max_attempts=max_attempts,
     )
+
+
+def resolve_max_attempts(args: argparse.Namespace) -> Optional[int]:
+    """``--max-attempts``: default cap, explicit cap, or 0 = uncapped."""
+    if args.max_attempts is None:
+        return DEFAULT_MAX_ATTEMPTS
+    if args.max_attempts == 0:
+        return None
+    if args.max_attempts < 0:
+        raise ConfigurationError(
+            f"--max-attempts must be >= 0, got {args.max_attempts}"
+        )
+    return args.max_attempts
+
+
+def report_quarantine(status: dict, staging: str) -> str:
+    """Write ``quarantine.json`` and print quarantined units loudly.
+
+    Always written (an empty report is a useful artifact: it proves the
+    sweep drained cleanly); returns the report path. A quarantined unit
+    is a slice the whole fleet failed at — silence here would let a
+    "done" line paper over missing work.
+    """
+    path = os.path.join(staging, QUARANTINE_REPORT_NAME)
+    os.makedirs(staging, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(status["quarantine"], handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if status["quarantined"]:
+        print(
+            f"WARNING: {status['quarantined']} unit(s) QUARANTINED after "
+            f"exhausting their attempt cap (report: {path}):",
+            flush=True,
+        )
+        entries = sorted(status["quarantine"].items(), key=lambda p: int(p[0]))
+        for unit_id, entry in entries:
+            print(
+                f"  unit {unit_id} ({entry['sweep']} slice "
+                f"{entry['index']}/{entry['count']}): {entry['attempts']} "
+                f"attempt(s), last worker {entry['worker']!r}, last error: "
+                f"{entry['error'] or '<none reported>'}",
+                flush=True,
+            )
+    return path
 
 
 def run_coordinator_mode(
@@ -353,9 +462,29 @@ def run_coordinator_mode(
                 f"{stats['duplicate']} duplicate",
                 flush=True,
             )
+        status = coordinator.status()
+        report_quarantine(status, staging)
+        # Cells a quarantined unit never delivered are recomputed
+        # locally into the staging layer, so the repack below replays
+        # from a full cache. (Backfilling first matters for byte
+        # identity: a repack with cache misses would append the
+        # missing cells after the cached ones, out of grid order.)
+        units_by_id = {unit.unit_id: unit for unit in units}
+        for unit_id in status["quarantine"]:
+            unit = units_by_id[int(unit_id)]
+            print(
+                f"recomputing quarantined unit {unit_id} ({unit.sweep} "
+                f"slice {unit.index}/{unit.count}) locally",
+                flush=True,
+            )
+            execute_experiment_unit(
+                unit, staging_store, lambda *_: None, workers=args.workers
+            )
         # Repack through a read-through layer: lookups replay in grid
         # order, so the final store's bytes match a single-host run no
-        # matter what order worker pushes arrived in.
+        # matter what order worker pushes arrived in — or which units
+        # the fleet could not finish (the quarantine report above names
+        # them; their results exist thanks to the local backfill).
         final = TrialStore(args.store)
         layered = ReadThroughStore(final, staging_store)
         for name in names:
@@ -364,10 +493,11 @@ def run_coordinator_mode(
             )
             print(table.render())
             print()
-        status = coordinator.status()
         print(
             f"coordinated sweep done in {time.time() - start:.1f}s: "
-            f"units={status['completed']} reassigned={status['reassigned']} "
+            f"units={status['completed']} "
+            f"quarantined={status['quarantined']} "
+            f"reassigned={status['reassigned']} "
             f"late={status['late']}; store {final.root} holds "
             f"{len(final)} result(s)",
             flush=True,
@@ -397,6 +527,7 @@ def run_worker_mode(args: argparse.Namespace) -> int:
             "scratch stores)"
         )
     token = resolve_auth_token(args)
+    worker_id = args.worker_id or default_worker_id()
     transport: Transport
     if args.transport == "dir":
         if args.transport_dir is None:
@@ -407,12 +538,43 @@ def run_worker_mode(args: argparse.Namespace) -> int:
         transport = DirTransport(args.transport_dir)
     else:
         transport = HTTPTransport(args.worker, token=token)
-    client = CoordinatorClient(args.worker, token=token)
+    control = CoordinatorClient(args.worker, token=token)
+    if args.chaos is not None:
+        control = FlakyControl(
+            control,
+            FaultPlan(
+                args.chaos,
+                scope=f"control:{worker_id}",
+                drop=0.06,
+                delay=0.06,
+                duplicate=0.06,
+                error=0.06,
+            ),
+        )
+        transport = FlakyTransport(
+            transport,
+            FaultPlan(
+                args.chaos,
+                scope=f"push:{worker_id}",
+                drop=0.1,
+                delay=0.1,
+                duplicate=0.1,
+                error=0.1,
+                truncate=0.25,
+            ),
+        )
+    retry = RetryPolicy(
+        attempts=args.retries, base_delay=0.25, max_delay=2.0, seed=worker_id
+    )
     scratch = args.scratch or tempfile.mkdtemp(prefix="repro-worker-")
-    worker_id = args.worker_id
     throttle = args.throttle
+    poison = args.chaos_poison
 
     def execute(unit: WorkUnit, store: TrialStore, renew: Callable[..., None]):
+        if poison is not None and unit.unit_id == poison:
+            raise RuntimeError(
+                f"chaos: unit {unit.unit_id} is poisoned on this fleet"
+            )
         if throttle > 0:
 
             def progress(spec, result):
@@ -424,16 +586,27 @@ def run_worker_mode(args: argparse.Namespace) -> int:
         execute_experiment_unit(unit, store, progress, workers=args.workers)
 
     print(
-        f"worker polling {args.worker} (transport={args.transport}, "
-        f"scratch={scratch})",
+        f"worker {worker_id} polling {args.worker} "
+        f"(transport={args.transport}, scratch={scratch}, "
+        f"retries={args.retries}"
+        + (f", chaos seed {args.chaos}" if args.chaos is not None else "")
+        + ")",
         flush=True,
     )
     stats = run_worker(
-        client, execute, transport, scratch, worker_id=worker_id, poll=args.poll
+        control,
+        execute,
+        transport,
+        scratch,
+        worker_id=worker_id,
+        poll=args.poll,
+        retry=retry,
     )
     print(
         f"worker done: {stats['completed']} unit(s) completed "
-        f"({stats['late']} late), {stats['idle_polls']} idle poll(s)",
+        f"({stats['late']} late), {stats['failed']} failed, "
+        f"{stats['released']} released, {stats['retries']} retrie(s), "
+        f"{stats['idle_polls']} idle poll(s)",
         flush=True,
     )
     return 0

@@ -13,20 +13,26 @@ Python dispatch at all (:class:`ArrayEngine` running
 from .array import ArrayContext, ArrayEngine, ArrayProgram, Sends
 from .csr import CSRGraph, ensure_csr
 from .distrib import (
+    AuthenticationError,
     CoordinatorClient,
     CoordinatorServer,
     CoordinatorUnavailable,
     DirTransport,
     HTTPTransport,
     LeaseReply,
+    PushIntegrityError,
+    RetryPolicy,
+    RetryableError,
     SweepCoordinator,
     Transport,
     WorkUnit,
+    deterministic_uniform,
     merge_pushed,
     pushed_store_dirs,
     run_worker,
     wait_until_done,
 )
+from .faults import FaultPlan, FlakyControl, FlakyTransport
 from .fast_engine import FastEngine, run_program_fast
 from .tasks import bfs_forest_trial, flood_min_trial, luby_mis_trial
 from .runner import (
@@ -52,16 +58,23 @@ __all__ = [
     "ArrayContext",
     "ArrayEngine",
     "ArrayProgram",
+    "AuthenticationError",
     "CSRGraph",
     "CoordinatorClient",
     "CoordinatorServer",
     "CoordinatorUnavailable",
     "DirTransport",
     "FastEngine",
+    "FaultPlan",
+    "FlakyControl",
+    "FlakyTransport",
     "HTTPTransport",
     "LeaseReply",
+    "PushIntegrityError",
     "RESULT_FORMAT_VERSION",
     "ReadThroughStore",
+    "RetryPolicy",
+    "RetryableError",
     "Sends",
     "SweepCoordinator",
     "Transport",
@@ -73,6 +86,7 @@ __all__ = [
     "bfs_forest_trial",
     "canonical_spec",
     "default_chunksize",
+    "deterministic_uniform",
     "ensure_csr",
     "flood_min_trial",
     "grid",

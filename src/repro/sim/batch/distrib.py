@@ -21,16 +21,27 @@ duplicate work from expired-then-completed leases dedupes under
 records into a store byte-identical to the single-host run — whatever
 mix of workers, leases, retries, and transports produced them.
 
-The control plane is deliberately tiny — five JSON-over-HTTP verbs
-(``lease``, ``renew``, ``complete``, ``release``, ``push``) plus a
-``status`` probe — and :class:`SweepCoordinator` itself is pure
+The control plane is deliberately tiny — six JSON-over-HTTP verbs
+(``lease``, ``renew``, ``complete``, ``release``, ``fail``, ``push``)
+plus a ``status`` probe — and :class:`SweepCoordinator` itself is pure
 in-memory state with an injectable clock, so lease semantics are unit
 testable with no sockets or subprocesses (``tests/test_distrib.py``).
+
+Failure handling follows one taxonomy: transient failures (a dead or
+restarting coordinator, an injected 503, a truncated push) raise
+:class:`RetryableError` subclasses and are absorbed by a
+:class:`RetryPolicy` with deterministic jitter; configuration mistakes
+(bad request, token mismatch -> :class:`AuthenticationError`) fail
+fast; and a unit whose compute keeps failing is *quarantined* by the
+coordinator after ``max_attempts`` leases rather than killing every
+worker that touches it (see :mod:`repro.sim.batch.faults` for the
+chaos layer that exercises all of this on a reproducible schedule).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import hmac
 import json
 import os
@@ -47,9 +58,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from ...errors import ConfigurationError
+from ...randomness.block import derive_key
 from .store import (
     TrialStore,
     append_jsonl,
+    file_digest,
     merge_stores,
     open_jsonl_append,
     read_jsonl,
@@ -57,6 +70,12 @@ from .store import (
 
 #: Lease lifetime (seconds) when the caller does not choose one.
 DEFAULT_LEASE_TTL = 60.0
+
+#: Per-unit attempt cap before quarantine when the caller does not
+#: choose one. A unit that has been leased this many times without a
+#: completion — its workers kept dying or reporting failures — is
+#: declared poisoned and parked instead of being re-leased forever.
+DEFAULT_MAX_ATTEMPTS = 5
 
 #: File name of the coordinator's write-ahead journal inside the
 #: staging directory (next to the pushed stores it belongs with).
@@ -67,8 +86,113 @@ JOURNAL_NAME = "journal.jsonl"
 TOKEN_ENV_VAR = "REPRO_SWEEP_TOKEN"
 
 
-class CoordinatorUnavailable(ConfigurationError):
-    """The coordinator endpoint cannot be reached (it likely exited)."""
+class RetryableError(ConfigurationError):
+    """A control-plane failure worth retrying (outage, 5xx, bad push).
+
+    The taxonomy the whole recovery layer keys on: transient transport
+    and server-side failures derive from this class and are eligible
+    for :class:`RetryPolicy` backoff; everything else (bad request,
+    auth mismatch) is treated as fatal — retrying a 400 forever would
+    only hide a bug.
+    """
+
+
+class CoordinatorUnavailable(RetryableError):
+    """The coordinator endpoint cannot be reached (dead or restarting)."""
+
+
+class PushIntegrityError(RetryableError):
+    """A pushed store failed digest verification (truncated/corrupt).
+
+    Retryable by definition: the sender re-reads the intact store from
+    disk, so a retried push converges unless the disk itself is bad.
+    """
+
+
+class AuthenticationError(ConfigurationError):
+    """The control plane rejected our token (HTTP 401). Never retried.
+
+    Deliberately *not* a :class:`RetryableError`: a token mismatch is a
+    configuration problem that retrying cannot fix, and it must surface
+    loudly instead of masquerading as a compute failure mid-trial.
+    """
+
+
+def deterministic_uniform(counter: int, *parts: object) -> float:
+    """Uniform [0, 1) as a pure function of ``(parts, counter)``.
+
+    BLAKE2b in counter mode keyed by the length-prefixed ``parts``
+    (:func:`repro.randomness.block.derive_key` discipline) — the same
+    construction as the simulation's randomness substrate, reused here
+    for retry jitter, idle-poll jitter, and fault schedules so that
+    every "random" delay in the recovery layer is replayable from its
+    labels alone.
+    """
+    key = derive_key("sweep-chaos", *parts)
+    digest = hashlib.blake2b(
+        counter.to_bytes(8, "big"), key=key, digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``call(fn)`` invokes ``fn`` up to ``attempts`` times, sleeping
+    ``min(base_delay * 2**k, max_delay) * (0.5 + u)`` between tries,
+    where ``u`` is :func:`deterministic_uniform` of ``(seed, label,
+    k-th use)`` — reproducible, but de-synchronized across workers that
+    pass distinct seeds (give it the worker id). Only
+    :class:`RetryableError` is retried; everything else propagates
+    immediately. ``sleep`` is injectable so tests pin the schedule
+    without waiting it out.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 5,
+        base_delay: float = 0.1,
+        max_delay: float = 2.0,
+        seed: Any = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ConfigurationError(
+                f"delays must be >= 0, got base {base_delay}, max {max_delay}"
+            )
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.seed = seed
+        self._sleep = sleep
+        self._counters: Dict[str, int] = {}
+
+    def delay(self, label: str, failure: int) -> float:
+        """The jittered backoff after the ``failure``-th failure (1-based)."""
+        counter = self._counters.get(label, 0)
+        self._counters[label] = counter + 1
+        raw = min(self.base_delay * (2 ** (failure - 1)), self.max_delay)
+        return raw * (0.5 + deterministic_uniform(counter, "retry", self.seed, label))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        label: str = "call",
+        on_retry: Optional[Callable[[], None]] = None,
+    ) -> Any:
+        failures = 0
+        while True:
+            try:
+                return fn()
+            except RetryableError:
+                failures += 1
+                if failures >= self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry()
+                self._sleep(self.delay(label, failures))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,6 +263,7 @@ class LeaseReply:
 _PENDING = "pending"
 _LEASED = "leased"
 _COMPLETED = "completed"
+_QUARANTINED = "quarantined"
 
 
 class SweepCoordinator:
@@ -165,6 +290,14 @@ class SweepCoordinator:
     stats survive, and leases that were live at the crash are
     conservatively requeued (their workers may be dead; if not, their
     completions land as harmless "late" ones).
+
+    ``max_attempts`` is the poison-unit circuit breaker: a unit leased
+    that many times without ever completing — whether its workers died
+    (expiry) or reported execute failures (:meth:`fail`) — is moved to
+    a journaled ``quarantined`` state instead of being re-leased
+    forever. Quarantined units count toward ``done`` (the sweep drains
+    instead of hanging), are surfaced loudly in :meth:`status`, and a
+    late completion for one is still accepted — data beats a diagnosis.
     """
 
     def __init__(
@@ -173,16 +306,22 @@ class SweepCoordinator:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] = time.monotonic,
         journal_path: Optional[str] = None,
+        max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
     ) -> None:
         units = list(units)
         if not units:
             raise ConfigurationError("a coordinator needs at least one work unit")
         if lease_ttl <= 0:
             raise ConfigurationError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if max_attempts is not None and max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1 or None, got {max_attempts}"
+            )
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
             raise ConfigurationError(f"duplicate unit ids in {sorted(ids)}")
         self.lease_ttl = float(lease_ttl)
+        self.max_attempts = max_attempts
         self._clock = clock
         self._units = {unit.unit_id: unit for unit in units}
         self._state = {unit.unit_id: _PENDING for unit in units}
@@ -190,6 +329,7 @@ class SweepCoordinator:
         self._deadline: Dict[int, float] = {}
         self._attempts = {unit.unit_id: 0 for unit in units}
         self._completed_by: Dict[int, str] = {}
+        self._quarantine: Dict[int, Dict[str, Any]] = {}
         self.reassigned = 0
         self.late = 0
         self._lock = threading.Lock()
@@ -230,6 +370,7 @@ class SweepCoordinator:
         journal_path: str,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] = time.monotonic,
+        max_attempts: Optional[int] = DEFAULT_MAX_ATTEMPTS,
     ) -> "SweepCoordinator":
         """Rebuild a coordinator from its write-ahead journal.
 
@@ -239,9 +380,13 @@ class SweepCoordinator:
         lease still live at the crash is requeued — counted in
         ``reassigned`` and journaled, so a second recovery agrees.
         Tolerates a torn trailing line (the crash may have been
-        mid-append) and duplicate or late entries.
+        mid-append) and duplicate or late entries. Quarantined units
+        stay quarantined; attempt counts survive, so a poison unit
+        cannot reset its circuit breaker by crashing the coordinator.
         """
-        coordinator = cls(units, lease_ttl=lease_ttl, clock=clock)
+        coordinator = cls(
+            units, lease_ttl=lease_ttl, clock=clock, max_attempts=max_attempts
+        )
         for event in read_jsonl(journal_path):
             coordinator._replay(event)
         coordinator.journal_path = os.fspath(journal_path)
@@ -261,7 +406,15 @@ class SweepCoordinator:
     def _replay(self, event: Dict[str, Any]) -> None:
         """Apply one journaled transition verbatim (no re-journaling)."""
         kind = event.get("event")
-        if kind not in ("lease", "renew", "complete", "release", "expire"):
+        if kind not in (
+            "lease",
+            "renew",
+            "complete",
+            "release",
+            "expire",
+            "fail",
+            "quarantine",
+        ):
             return  # foreign/future record: ignore, like torn lines
         try:
             unit_id = int(event["unit"])
@@ -292,9 +445,21 @@ class SweepCoordinator:
             self._completed_by[unit_id] = str(event.get("worker", "?"))
             self._worker.pop(unit_id, None)
             self._deadline.pop(unit_id, None)
+            self._quarantine.pop(unit_id, None)
             if event.get("verdict") == "late":
                 self.late += 1
-        elif kind in ("release", "expire"):
+        elif kind == "quarantine":
+            if state == _COMPLETED:
+                return  # a completion beat the quarantine: keep the data
+            self._state[unit_id] = _QUARANTINED
+            self._worker.pop(unit_id, None)
+            self._deadline.pop(unit_id, None)
+            self._quarantine[unit_id] = {
+                "worker": str(event.get("worker", "?")),
+                "error": str(event.get("error", "")),
+                "attempts": int(event.get("attempts", self._attempts[unit_id])),
+            }
+        elif kind in ("release", "expire", "fail"):
             if state != _LEASED:
                 return  # duplicate entry: the lease is already gone
             self._state[unit_id] = _PENDING
@@ -307,13 +472,31 @@ class SweepCoordinator:
     # control-plane verbs
     # ------------------------------------------------------------------
     def lease(self, worker_id: str) -> LeaseReply:
-        """Hand out the lowest-id pending unit, or report done/busy."""
+        """Hand out the lowest-id pending unit, or report done/busy.
+
+        A pending unit that has already burned through ``max_attempts``
+        leases (workers kept dying without ever reporting failure) is
+        quarantined here instead of being handed out again — the
+        lease-side half of the poison circuit breaker (:meth:`fail` is
+        the reporting half).
+        """
         with self._lock:
             self._expire_locked()
             for unit_id in sorted(self._units):
                 if self._state[unit_id] != _PENDING:
                     continue
                 attempt = self._attempts[unit_id] + 1
+                if self.max_attempts is not None and attempt > self.max_attempts:
+                    self._quarantine_locked(
+                        unit_id,
+                        worker="?",
+                        error=(
+                            f"attempt cap exhausted: leased "
+                            f"{self._attempts[unit_id]} time(s) without a "
+                            f"completion (workers died or leases expired)"
+                        ),
+                    )
+                    continue
                 self._journal(
                     {
                         "event": "lease",
@@ -342,7 +525,12 @@ class SweepCoordinator:
             return True
 
     def complete(self, worker_id: str, unit_id: int) -> str:
-        """Record a finished unit: "completed", "late", or "duplicate"."""
+        """Record a finished unit: "completed", "late", or "duplicate".
+
+        A completion for a *quarantined* unit is accepted as "late" and
+        lifts the quarantine — the straggler's data arrived after all,
+        and deterministic data always beats a failure diagnosis.
+        """
         with self._lock:
             self._expire_locked()
             if unit_id not in self._units:
@@ -375,6 +563,7 @@ class SweepCoordinator:
             self._completed_by[unit_id] = worker_id
             self._worker.pop(unit_id, None)
             self._deadline.pop(unit_id, None)
+            self._quarantine.pop(unit_id, None)
             if verdict == "late":
                 self.late += 1
             return verdict
@@ -392,6 +581,66 @@ class SweepCoordinator:
             self._worker.pop(unit_id, None)
             self._deadline.pop(unit_id, None)
             return True
+
+    def _quarantine_locked(self, unit_id: int, worker: str, error: str) -> None:
+        """Journal and apply a quarantine (call with the lock held)."""
+        self._journal(
+            {
+                "event": "quarantine",
+                "unit": unit_id,
+                "worker": worker,
+                "error": error,
+                "attempts": self._attempts[unit_id],
+            }
+        )
+        self._state[unit_id] = _QUARANTINED
+        self._worker.pop(unit_id, None)
+        self._deadline.pop(unit_id, None)
+        self._quarantine[unit_id] = {
+            "worker": worker,
+            "error": error,
+            "attempts": self._attempts[unit_id],
+        }
+
+    def fail(self, worker_id: str, unit_id: int, error: str = "") -> str:
+        """Report that ``execute`` raised: "requeued", "quarantined", or
+        "ignored".
+
+        The reporting half of the poison circuit breaker. A failure
+        from the current lease holder requeues the unit — some crashes
+        are environmental (OOM, a dying host) and another worker may
+        succeed — unless this was already the unit's
+        ``max_attempts``-th lease, in which case it is quarantined with
+        the reported error preserved for :meth:`status`. A failure from
+        a worker that no longer holds the lease is "ignored" (the TTL
+        machinery already moved on).
+        """
+        with self._lock:
+            self._expire_locked()
+            if unit_id not in self._units:
+                raise ConfigurationError(f"unknown unit id {unit_id}")
+            if self._state.get(unit_id) != _LEASED:
+                return "ignored"
+            if self._worker.get(unit_id) != worker_id:
+                return "ignored"
+            if (
+                self.max_attempts is not None
+                and self._attempts[unit_id] >= self.max_attempts
+            ):
+                self._quarantine_locked(unit_id, worker_id, error)
+                return "quarantined"
+            self._journal(
+                {
+                    "event": "fail",
+                    "unit": unit_id,
+                    "worker": worker_id,
+                    "error": error,
+                }
+            )
+            self._state[unit_id] = _PENDING
+            self._worker.pop(unit_id, None)
+            self._deadline.pop(unit_id, None)
+            return "requeued"
 
     def expire(self) -> List[int]:
         """Requeue every overdue lease; returns the requeued unit ids."""
@@ -420,14 +669,23 @@ class SweepCoordinator:
             return self._done_locked()
 
     def _done_locked(self) -> bool:
-        return all(state == _COMPLETED for state in self._state.values())
+        return all(
+            state in (_COMPLETED, _QUARANTINED) for state in self._state.values()
+        )
 
     def status(self) -> Dict[str, Any]:
-        """A JSON-ready snapshot (the ``GET /status`` body)."""
+        """A JSON-ready snapshot (the ``GET /status`` body).
+
+        Quarantined units are surfaced loudly: a top-level count plus a
+        ``quarantine`` detail map (sweep, shard index, attempt count,
+        last reported error, last worker) — a quarantined unit is a
+        missing grid cell, and "done with 1 quarantined" must never
+        read like "done".
+        """
         with self._lock:
             self._expire_locked()
             now = self._clock()
-            counts = {_PENDING: 0, _LEASED: 0, _COMPLETED: 0}
+            counts = {_PENDING: 0, _LEASED: 0, _COMPLETED: 0, _QUARANTINED: 0}
             for state in self._state.values():
                 counts[state] += 1
             leases = {
@@ -439,11 +697,28 @@ class SweepCoordinator:
                 for unit_id, state in self._state.items()
                 if state == _LEASED
             }
+            quarantine = {
+                str(unit_id): {
+                    "sweep": self._units[unit_id].sweep,
+                    "index": self._units[unit_id].index,
+                    "count": self._units[unit_id].count,
+                    "attempts": entry["attempts"],
+                    "error": entry["error"],
+                    "worker": entry["worker"],
+                }
+                for unit_id, entry in sorted(self._quarantine.items())
+            }
             sweeps: Dict[str, Dict[str, int]] = {}
             for unit_id, unit in self._units.items():
                 entry = sweeps.setdefault(
                     unit.sweep,
-                    {"total": 0, _PENDING: 0, _LEASED: 0, _COMPLETED: 0},
+                    {
+                        "total": 0,
+                        _PENDING: 0,
+                        _LEASED: 0,
+                        _COMPLETED: 0,
+                        _QUARANTINED: 0,
+                    },
                 )
                 entry["total"] += 1
                 entry[self._state[unit_id]] += 1
@@ -452,9 +727,11 @@ class SweepCoordinator:
                 "pending": counts[_PENDING],
                 "leased": counts[_LEASED],
                 "completed": counts[_COMPLETED],
+                "quarantined": counts[_QUARANTINED],
                 "reassigned": self.reassigned,
                 "late": self.late,
                 "leases": leases,
+                "quarantine": quarantine,
                 "sweeps": dict(sorted(sweeps.items())),
                 "done": self._done_locked(),
             }
@@ -484,15 +761,56 @@ def _store_files(store_root: str) -> Dict[str, str]:
     return files
 
 
-def write_pushed_store(staging_root: str, name: str, files: Dict[str, str]) -> str:
+def _store_digests(files: Dict[str, str]) -> Dict[str, str]:
+    """Content digests for a push payload: relpath -> file_digest."""
+    return {rel: file_digest(text) for rel, text in files.items()}
+
+
+def verify_pushed_files(files: Dict[str, str], digests: Dict[str, Any]) -> None:
+    """Reject a push whose payload does not match its own manifest.
+
+    The receiver-side half of push integrity: the sender digests each
+    file *before* the bytes hit the wire, so any truncation or
+    corruption in between shows up as a mismatch here. Raises
+    :class:`PushIntegrityError` (HTTP 409, retryable — the sender
+    re-reads the intact store from disk and the retry converges).
+    """
+    if set(digests) != set(files):
+        missing = sorted(set(digests) - set(files))
+        extra = sorted(set(files) - set(digests))
+        raise PushIntegrityError(
+            f"push manifest mismatch: files missing from payload {missing}, "
+            f"files without digests {extra}"
+        )
+    for rel in sorted(files):
+        actual = file_digest(files[rel])
+        if not hmac.compare_digest(actual, str(digests[rel])):
+            raise PushIntegrityError(
+                f"push payload corrupt: {rel!r} digests to {actual} but the "
+                f"sender computed {digests[rel]} (truncated or corrupted "
+                f"in transit; retry the push)"
+            )
+
+
+def write_pushed_store(
+    staging_root: str,
+    name: str,
+    files: Dict[str, str],
+    digests: Optional[Dict[str, Any]] = None,
+) -> str:
     """Materialize one pushed store under ``staging_root`` atomically.
 
     The server side of a push, shared by both transports' receive
-    paths. The store appears under its (sanitized) push name via a
-    tmp-dir rename, so a half-written push is never visible; if the
-    name already exists the first push wins — push names are unique per
-    attempt, so a collision is a retried identical payload.
+    paths. With ``digests`` (the sender's content manifest), the
+    payload is verified *before* anything touches disk — a truncated
+    push raises :class:`PushIntegrityError` and stages nothing. The
+    store appears under its (sanitized) push name via a tmp-dir rename,
+    so a half-written push is never visible; if the name already exists
+    the first push wins — push names are unique per attempt, so a
+    collision is a retried identical payload.
     """
+    if digests is not None:
+        verify_pushed_files(files, digests)
     os.makedirs(staging_root, exist_ok=True)
     dest = os.path.join(staging_root, _safe_push_name(name))
     tmp = tempfile.mkdtemp(prefix=".push-", dir=staging_root)
@@ -542,9 +860,13 @@ def merge_pushed(staging_root: str, dest: TrialStore) -> Dict[str, int]:
 class Transport:
     """Ships a completed shard store to the coordinator's staging area.
 
-    Implementations must be idempotent per ``name``: pushing the same
-    name twice (a retry) must leave one copy. Byte-level dedup of
-    overlapping *records* across different pushes is not the
+    ``push`` reads the store and its content digests once, then hands
+    both to :meth:`_deliver` — the seam where the bytes actually move
+    (and where :class:`~repro.sim.batch.faults.FlakyTransport` corrupts
+    them *after* digest computation, modeling a connection that died
+    mid-body). Implementations must be idempotent per ``name``: pushing
+    the same name twice (a retry) must leave one copy. Byte-level dedup
+    of overlapping *records* across different pushes is not the
     transport's job — ``merge_stores`` handles that.
     """
 
@@ -552,6 +874,12 @@ class Transport:
 
     def push(self, store_root: str, name: str) -> str:
         """Deliver the store rooted at ``store_root``; returns a label."""
+        files = _store_files(store_root)
+        return self._deliver(name, files, _store_digests(files))
+
+    def _deliver(
+        self, name: str, files: Dict[str, str], digests: Dict[str, str]
+    ) -> str:
         raise NotImplementedError
 
 
@@ -570,24 +898,50 @@ class DirTransport(Transport):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
 
-    def push(self, store_root: str, name: str) -> str:
-        return write_pushed_store(self.root, name, _store_files(store_root))
+    def _deliver(
+        self, name: str, files: Dict[str, str], digests: Dict[str, str]
+    ) -> str:
+        return write_pushed_store(self.root, name, files, digests)
 
 
 class HTTPTransport(Transport):
-    """Push = POST the store's files to the coordinator's control plane."""
+    """Push = POST the store's files to the coordinator's control plane.
+
+    The body carries the sender-side content digests alongside the
+    files; the receiver verifies them before staging anything and
+    answers 409 (-> :class:`PushIntegrityError`, retryable) on a
+    mismatch. ``retry`` wraps each push in a :class:`RetryPolicy` so a
+    truncated or refused push is retried from the intact on-disk store.
+    """
 
     name = "http"
 
     def __init__(
-        self, base_url: str, timeout: float = 30.0, token: Optional[str] = None
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        token: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.token = token
+        self.retry = retry
 
     def push(self, store_root: str, name: str) -> str:
-        body = json.dumps({"files": _store_files(store_root)}).encode("utf-8")
+        # Retry around the WHOLE push, not just the POST: each attempt
+        # re-reads the store from disk, so a payload that was corrupted
+        # on its way out (and 409'd by the receiver) goes back intact.
+        if self.retry is None:
+            return Transport.push(self, store_root, name)
+        return self.retry.call(
+            lambda: Transport.push(self, store_root, name), label="push"
+        )
+
+    def _deliver(
+        self, name: str, files: Dict[str, str], digests: Dict[str, str]
+    ) -> str:
+        body = json.dumps({"files": files, "digests": digests}).encode("utf-8")
         url = f"{self.base_url}/push?name={urllib.parse.quote(name)}"
         reply = _http_json(url, body, self.timeout, token=self.token)
         return str(reply["stored"])
@@ -599,7 +953,16 @@ def _http_json(
     timeout: float,
     token: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """One JSON request/response round trip, errors normalized."""
+    """One JSON request/response round trip, errors normalized.
+
+    The status-code taxonomy the retry layer keys on: 401 is an
+    :class:`AuthenticationError` (fatal — retrying a bad token only
+    hides it), 409 a :class:`PushIntegrityError` (retryable — the
+    sender re-reads the intact store), any 5xx a plain
+    :class:`RetryableError` (the server is having a moment), and the
+    remaining 4xx a fatal :class:`ConfigurationError`. Connection-level
+    failures are :class:`CoordinatorUnavailable` (retryable).
+    """
     headers = {"Content-Type": "application/json"}
     if token:
         headers["X-Auth-Token"] = token
@@ -614,9 +977,18 @@ def _http_json(
             return json.loads(response.read().decode("utf-8"))
     except urllib.error.HTTPError as exc:
         detail = exc.read().decode("utf-8", "replace")[:500]
-        raise ConfigurationError(
-            f"coordinator rejected {url}: HTTP {exc.code} {detail}"
-        ) from exc
+        message = f"coordinator rejected {url}: HTTP {exc.code} {detail}"
+        if exc.code == 401:
+            raise AuthenticationError(
+                f"coordinator rejected our auth token at {url} (HTTP 401): "
+                f"the worker's --auth-token/${TOKEN_ENV_VAR} does not match "
+                f"the coordinator's; fix the token, do not retry. {detail}"
+            ) from exc
+        if exc.code == 409:
+            raise PushIntegrityError(message) from exc
+        if exc.code >= 500:
+            raise RetryableError(message) from exc
+        raise ConfigurationError(message) from exc
     except (urllib.error.URLError, ConnectionError, socket.timeout) as exc:
         raise CoordinatorUnavailable(
             f"coordinator unreachable at {url}: {exc}"
@@ -672,6 +1044,8 @@ class _ControlHandler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(self.rfile.read(length) or b"{}")
             self._reply(200, self._dispatch(parsed, payload))
+        except PushIntegrityError as exc:
+            self._reply(409, {"error": str(exc)})
         except ConfigurationError as exc:
             self._reply(400, {"error": str(exc)})
         except (ValueError, KeyError, TypeError) as exc:
@@ -697,13 +1071,22 @@ class _ControlHandler(BaseHTTPRequestHandler):
         if parsed.path == "/release":
             worker, unit = str(payload["worker"]), int(payload["unit"])
             return {"ok": coordinator.release(worker, unit)}
+        if parsed.path == "/fail":
+            worker, unit = str(payload["worker"]), int(payload["unit"])
+            error = str(payload.get("error", ""))
+            return {"status": coordinator.fail(worker, unit, error)}
         if parsed.path == "/push":
             query = urllib.parse.parse_qs(parsed.query)
             name = query.get("name", ["push"])[0]
             files = payload["files"]
             if not isinstance(files, dict):
                 raise ConfigurationError("push body must carry a files mapping")
-            dest = write_pushed_store(self.server.staging_root, name, files)
+            digests = payload.get("digests")
+            if digests is not None and not isinstance(digests, dict):
+                raise ConfigurationError("push digests must be a mapping")
+            dest = write_pushed_store(
+                self.server.staging_root, name, files, digests
+            )
             return {"stored": os.path.basename(dest)}
         raise ConfigurationError(f"unknown endpoint {parsed.path}")
 
@@ -770,23 +1153,38 @@ class CoordinatorServer:
 class CoordinatorClient:
     """Worker-side control plane client (urllib, JSON verbs).
 
-    Mirrors :class:`SweepCoordinator`'s lease/renew/complete/release
-    surface so :func:`run_worker` can drive either one directly (an
-    in-process coordinator) or a remote coordinator over HTTP.
+    Mirrors :class:`SweepCoordinator`'s lease/renew/complete/release/
+    fail surface so :func:`run_worker` can drive either one directly
+    (an in-process coordinator) or a remote coordinator over HTTP.
+    With a ``retry`` policy, every verb rides out transient failures
+    (outage, 5xx) itself — use this for callers that are not already
+    wrapped in a policy (:func:`run_worker` does its own wrapping so it
+    can count retries; give *it* the policy instead).
     """
 
     def __init__(
-        self, base_url: str, timeout: float = 30.0, token: Optional[str] = None
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        token: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.token = token
+        self.retry = retry
 
     def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         body = json.dumps(payload).encode("utf-8")
-        return _http_json(
-            f"{self.base_url}{path}", body, self.timeout, token=self.token
-        )
+
+        def attempt() -> Dict[str, Any]:
+            return _http_json(
+                f"{self.base_url}{path}", body, self.timeout, token=self.token
+            )
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.call(attempt, label=path.lstrip("/"))
 
     def lease(self, worker_id: str) -> LeaseReply:
         reply = self._post("/lease", {"worker": worker_id})
@@ -807,6 +1205,12 @@ class CoordinatorClient:
     def release(self, worker_id: str, unit_id: int) -> bool:
         reply = self._post("/release", {"worker": worker_id, "unit": unit_id})
         return bool(reply["ok"])
+
+    def fail(self, worker_id: str, unit_id: int, error: str = "") -> str:
+        reply = self._post(
+            "/fail", {"worker": worker_id, "unit": unit_id, "error": error}
+        )
+        return str(reply["status"])
 
     def status(self) -> Dict[str, Any]:
         return _http_json(
@@ -829,11 +1233,12 @@ def run_worker(
     worker_id: Optional[str] = None,
     poll: float = 0.5,
     sleep: Callable[[float], None] = time.sleep,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict[str, int]:
     """Lease, execute, push, complete — until the coordinator says done.
 
     ``control`` is anything with the coordinator's lease/renew/complete/
-    release verbs (a :class:`SweepCoordinator` in-process, or a
+    release/fail verbs (a :class:`SweepCoordinator` in-process, or a
     :class:`CoordinatorClient` over HTTP). ``execute(unit, store,
     renew)`` must run the unit's slice into ``store``, calling ``renew``
     as it makes progress (hang it off ``run_trials``'s per-trial
@@ -841,24 +1246,61 @@ def run_worker(
     attempt gets a fresh store under ``scratch`` and a unique push
     name, so retried units never contaminate earlier payloads.
 
-    A failing ``execute`` releases the lease (letting another worker
-    take over immediately) and re-raises. A coordinator that stops
-    answering ends the loop — by then it has either finished or died,
-    and idling forever helps neither case.
+    ``retry`` (default: one attempt, no patience) wraps every
+    control-plane verb and the push, so a worker given a real policy
+    rides out a coordinator restart — ``--resume`` brings the control
+    plane back inside the backoff window and the fleet never notices.
+    Only when the retry budget is exhausted does the loop end: by then
+    the coordinator has either finished or died for good, and idling
+    forever helps neither case. Retries are counted in
+    ``stats["retries"]``.
+
+    A failing ``execute`` no longer kills the worker: the failure is
+    reported through the ``fail`` verb (counted in ``stats["failed"]``)
+    so the coordinator can requeue the unit — or quarantine it after
+    ``max_attempts`` — and the loop moves on to the next lease. Two
+    exceptions stay fatal: :class:`AuthenticationError` (a token
+    mismatch surfacing through the renew hook must be fixed, not
+    retried under an anonymous label) and ``BaseException``\\ s like
+    ``KeyboardInterrupt`` (the lease is released — counted in
+    ``stats["released"]`` — and the exception propagates).
+
+    The idle-poll sleep is jittered per worker id on a deterministic
+    schedule: a lockstep fleet would otherwise hammer ``/lease`` in
+    synchronized waves every ``poll`` seconds forever.
     """
     worker_id = worker_id or default_worker_id()
     os.makedirs(scratch, exist_ok=True)
-    stats = {"completed": 0, "late": 0, "idle_polls": 0}
+    if retry is None:
+        retry = RetryPolicy(attempts=1, seed=worker_id, sleep=sleep)
+    stats = {
+        "completed": 0,
+        "late": 0,
+        "idle_polls": 0,
+        "retries": 0,
+        "released": 0,
+        "failed": 0,
+    }
+
+    def count_retry() -> None:
+        stats["retries"] += 1
+
+    def call(label: str, fn: Callable[[], Any]) -> Any:
+        return retry.call(fn, label=label, on_retry=count_retry)
+
     while True:
         try:
-            reply = control.lease(worker_id)
-        except CoordinatorUnavailable:
+            reply = call("lease", lambda: control.lease(worker_id))
+        except RetryableError:
             break
         if reply.unit is None:
             if reply.done:
                 break
+            jitter = deterministic_uniform(
+                stats["idle_polls"], "idle-poll", worker_id
+            )
             stats["idle_polls"] += 1
-            sleep(poll)
+            sleep(poll * (0.5 + jitter))
             continue
         unit, attempt = reply.unit, reply.attempt
         store_root = os.path.join(scratch, f"u{unit.unit_id:04d}-a{attempt:02d}")
@@ -867,38 +1309,77 @@ def run_worker(
         def renew(*_ignored: Any) -> None:
             try:
                 control.renew(worker_id, unit.unit_id)
-            except CoordinatorUnavailable:
+            except RetryableError:
                 pass  # the push/complete below will surface the outage
 
         try:
             execute(unit, store, renew)
             store.close()
-            push_name = f"u{unit.unit_id:04d}-a{attempt:02d}-{worker_id}"
-            transport.push(store_root, push_name)
-        except CoordinatorUnavailable:
-            # The coordinator died mid-push: end the loop like the
-            # lease/complete paths do (the scratch store stays on disk;
-            # a --resume'd coordinator will re-lease the unit).
+        except AuthenticationError:
+            # A token mismatch surfacing mid-trial (through the renew
+            # hook) is a configuration bug, not a compute failure:
+            # reporting it via /fail would 401 too. Die loudly.
             store.close()
-            break
+            raise
+        except Exception as exc:
+            # Report the compute failure and keep working: the
+            # coordinator requeues the unit for another try (maybe the
+            # crash was environmental) or quarantines it once the
+            # attempt cap is hit. The scratch store is kept for
+            # debugging.
+            store.close()
+            stats["failed"] += 1
+            try:
+                call(
+                    "fail",
+                    lambda: control.fail(
+                        worker_id,
+                        unit.unit_id,
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            except RetryableError:
+                break
+            continue
         except BaseException:
-            # Both a failed compute and a failed push strand the unit
-            # otherwise: release it so another worker takes over now
-            # rather than after TTL expiry. The scratch store is kept
-            # for debugging.
+            # KeyboardInterrupt and friends: release the lease so
+            # another worker takes over now rather than after TTL
+            # expiry, then get out of the way.
             store.close()
             try:
                 control.release(worker_id, unit.unit_id)
-            except CoordinatorUnavailable:
+            except RetryableError:
                 pass
+            stats["released"] += 1
+            raise
+        push_name = f"u{unit.unit_id:04d}-a{attempt:02d}-{worker_id}"
+        try:
+            call("push", lambda: transport.push(store_root, push_name))
+        except RetryableError:
+            # The coordinator died mid-push and stayed dead through the
+            # whole retry budget: end the loop like the lease path does
+            # (the scratch store stays on disk; a --resume'd
+            # coordinator will re-lease the unit).
+            break
+        except BaseException:
+            # A non-retryable push failure strands the unit otherwise:
+            # release it so another worker takes over now. The scratch
+            # store is kept for debugging.
+            try:
+                control.release(worker_id, unit.unit_id)
+            except RetryableError:
+                pass
+            stats["released"] += 1
             raise
         # The push is durably staged: the per-attempt scratch store has
         # done its job. Without this, a long-lived worker's scratch
         # directory grows by one store per attempt, without bound.
         shutil.rmtree(store_root, ignore_errors=True)
         try:
-            verdict = control.complete(worker_id, unit.unit_id)
-        except CoordinatorUnavailable:
+            verdict = call(
+                "complete", lambda: control.complete(worker_id, unit.unit_id)
+            )
+        except RetryableError:
             break
         stats["completed"] += 1
         if verdict == "late":

@@ -105,6 +105,17 @@ def spec_key(task_name: str, spec: TrialSpec,
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def file_digest(text: str) -> str:
+    """Content address of one store file: hex BLAKE2b-128 of its UTF-8 bytes.
+
+    Used by the push transports (:mod:`repro.sim.batch.distrib`) to
+    verify that a shipped store arrived intact: the sender digests each
+    file before transmission, the receiver re-digests on receipt, and a
+    truncated or corrupted payload is rejected instead of staged.
+    """
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
 def open_jsonl_append(path: Union[str, os.PathLike]) -> IO[str]:
     """Open ``path`` for appending JSONL records, healing a torn tail.
 

@@ -25,18 +25,24 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.batch import (
+    AuthenticationError,
     CoordinatorClient,
     CoordinatorServer,
     CoordinatorUnavailable,
     DirTransport,
     HTTPTransport,
+    LeaseReply,
+    PushIntegrityError,
     ReadThroughStore,
+    RetryPolicy,
+    RetryableError,
     SweepCoordinator,
     Transport,
     TrialResult,
     TrialSpec,
     TrialStore,
     WorkUnit,
+    deterministic_uniform,
     flood_min_trial,
     grid,
     merge_pushed,
@@ -46,8 +52,12 @@ from repro.sim.batch import (
     run_worker,
     wait_until_done,
 )
-from repro.sim.batch.distrib import JOURNAL_NAME, write_pushed_store
-from repro.sim.batch.store import read_jsonl
+from repro.sim.batch.distrib import (
+    JOURNAL_NAME,
+    verify_pushed_files,
+    write_pushed_store,
+)
+from repro.sim.batch.store import file_digest, read_jsonl
 
 FLOOD_TASK_NAME = "repro.sim.batch.tasks.flood_min_trial"
 
@@ -227,8 +237,20 @@ class TestLeases:
         coordinator.complete("a", 0)
         coordinator.lease("b")
         assert coordinator.status()["sweeps"] == {
-            "e06": {"total": 2, "pending": 0, "leased": 1, "completed": 1},
-            "e08": {"total": 1, "pending": 1, "leased": 0, "completed": 0},
+            "e06": {
+                "total": 2,
+                "pending": 0,
+                "leased": 1,
+                "completed": 1,
+                "quarantined": 0,
+            },
+            "e08": {
+                "total": 1,
+                "pending": 1,
+                "leased": 0,
+                "completed": 0,
+                "quarantined": 0,
+            },
         }
 
     def test_wait_until_done_times_out_loudly(self):
@@ -728,17 +750,45 @@ class TestCoordinatedEndToEnd:
         staging = TrialStore(tmp_path / "merged")
         assert merge_pushed(staging_root, staging)["added"] == len(specs)
 
-    def test_failing_execute_releases_the_lease(self, tmp_path):
+    def test_failing_execute_reports_fail_and_keeps_working(self, tmp_path):
+        """A crash in execute is reported via /fail, not fatal.
+
+        The worker survives the failure, the coordinator requeues the
+        unit, and once the attempt cap is hit the unit is quarantined
+        (the sweep drains instead of hanging on a poison unit).
+        """
         units = [WorkUnit.of(0, "flood", 0, 1)]
-        coordinator = SweepCoordinator(units, lease_ttl=30)
+        coordinator = SweepCoordinator(units, lease_ttl=30, max_attempts=3)
 
         def explode(unit, store, renew):
             raise RuntimeError("boom")
 
-        with pytest.raises(RuntimeError, match="boom"):
+        stats = run_worker(
+            coordinator,
+            explode,
+            DirTransport(str(tmp_path / "staging")),
+            str(tmp_path / "scratch"),
+            worker_id="clumsy",
+        )
+        assert stats["failed"] == 3
+        assert stats["completed"] == 0
+        status = coordinator.status()
+        assert status["quarantined"] == 1
+        assert status["quarantine"]["0"]["attempts"] == 3
+        assert "RuntimeError: boom" in status["quarantine"]["0"]["error"]
+        assert status["done"] is True
+
+    def test_keyboard_interrupt_releases_the_lease(self, tmp_path):
+        units = [WorkUnit.of(0, "flood", 0, 1)]
+        coordinator = SweepCoordinator(units, lease_ttl=30)
+
+        def interrupt(unit, store, renew):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
             run_worker(
                 coordinator,
-                explode,
+                interrupt,
                 DirTransport(str(tmp_path / "staging")),
                 str(tmp_path / "scratch"),
                 worker_id="clumsy",
@@ -859,7 +909,15 @@ class TestCoordinationCLI:
     def test_worker_against_dead_coordinator_exits_cleanly(self, capsys):
         from repro.analysis.cli import main
 
-        assert main(["--worker", "http://127.0.0.1:9", "--poll", "0.01"]) == 0
+        argv = [
+            "--worker",
+            "http://127.0.0.1:9",
+            "--poll",
+            "0.01",
+            "--retries",
+            "1",
+        ]
+        assert main(argv) == 0
         assert "0 unit(s) completed" in capsys.readouterr().out
 
     def test_experiment_units_slices_only_sweeping_drivers(self):
@@ -890,6 +948,8 @@ class TestCoordinationCLI:
         assert main(["--worker", "http://h:1", "--resume"]) == 2
         assert "coordinator flag" in capsys.readouterr().err
         assert main(["--worker", "http://h:1", "--timeout", "5"]) == 2
+        assert "coordinator flag" in capsys.readouterr().err
+        assert main(["--worker", "http://h:1", "--max-attempts", "3"]) == 2
         assert "coordinator flag" in capsys.readouterr().err
 
     def test_resume_without_a_journal_is_an_error(self, tmp_path, capsys):
@@ -1056,3 +1116,548 @@ class TestCoordinatedCLIService:
         out = capsys.readouterr().out
         assert "resumed from" in out and "2/2 unit(s) already complete" in out
         assert _store_bytes(str(tmp_path / "store2")) == _store_bytes(store)
+
+
+class _SleepRecorder:
+    """An injectable sleep that records instead of waiting."""
+
+    def __init__(self) -> None:
+        self.calls: list = []
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(seconds)
+
+
+class TestRetryPolicy:
+    def _expected_delay(self, policy, counter, failure, label):
+        raw = min(policy.base_delay * 2 ** (failure - 1), policy.max_delay)
+        u = deterministic_uniform(counter, "retry", policy.seed, label)
+        return raw * (0.5 + u)
+
+    def test_backoff_schedule_is_deterministic_per_seed(self):
+        recorder = _SleepRecorder()
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.1, max_delay=2.0, seed="w1", sleep=recorder
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise CoordinatorUnavailable("down")
+            return "ok"
+
+        assert policy.call(flaky, label="lease") == "ok"
+        assert calls["n"] == 4
+        expected = [
+            self._expected_delay(policy, k, k + 1, "lease") for k in range(3)
+        ]
+        assert recorder.calls == expected
+        # A fresh policy with the same seed replays the same schedule; a
+        # different seed (another worker) gets a different one.
+        twin = RetryPolicy(
+            attempts=5, base_delay=0.1, max_delay=2.0, seed="w1", sleep=recorder
+        )
+        other = RetryPolicy(
+            attempts=5, base_delay=0.1, max_delay=2.0, seed="w2", sleep=recorder
+        )
+        assert twin.delay("lease", 1) == expected[0]
+        assert other.delay("lease", 1) != expected[0]
+
+    def test_budget_exhaustion_reraises_the_last_failure(self):
+        recorder = _SleepRecorder()
+        policy = RetryPolicy(attempts=3, base_delay=0.1, sleep=recorder)
+        retries = {"n": 0}
+
+        def always_down():
+            raise CoordinatorUnavailable("still down")
+
+        with pytest.raises(CoordinatorUnavailable, match="still down"):
+            policy.call(
+                always_down,
+                label="lease",
+                on_retry=lambda: retries.__setitem__("n", retries["n"] + 1),
+            )
+        assert retries["n"] == 2  # attempts - 1 retries, then give up
+        assert len(recorder.calls) == 2
+
+    def test_only_retryable_errors_are_retried(self):
+        policy = RetryPolicy(attempts=5, sleep=_SleepRecorder())
+        calls = {"n": 0}
+
+        def fatal():
+            calls["n"] += 1
+            raise ConfigurationError("bad request")
+
+        with pytest.raises(ConfigurationError, match="bad request"):
+            policy.call(fatal)
+        assert calls["n"] == 1  # no second attempt
+
+    def test_delay_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.1, max_delay=0.4, sleep=_SleepRecorder()
+        )
+        # By failure 3 the raw backoff (0.4) hits the cap; jitter keeps
+        # every delay in [0.5, 1.5) x raw.
+        for failure in (3, 4, 5):
+            delay = policy.delay("x", failure)
+            assert 0.2 <= delay < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ConfigurationError, match="delays"):
+            RetryPolicy(base_delay=-1)
+
+
+class TestQuarantine:
+    """The poison-unit circuit breaker: /fail, attempt caps, recovery."""
+
+    def test_fail_requeues_until_the_attempt_cap(self):
+        coordinator = SweepCoordinator(
+            _units(1), lease_ttl=10, clock=FakeClock(), max_attempts=3
+        )
+        for attempt in (1, 2):
+            reply = coordinator.lease("w")
+            assert reply.attempt == attempt
+            assert coordinator.fail("w", 0, "boom") == "requeued"
+        assert coordinator.lease("w").attempt == 3
+        assert coordinator.fail("w", 0, "third strike") == "quarantined"
+        status = coordinator.status()
+        assert status["quarantined"] == 1 and status["done"]
+        assert status["quarantine"]["0"]["error"] == "third strike"
+        assert status["quarantine"]["0"]["attempts"] == 3
+        # A quarantined unit is never re-leased.
+        assert coordinator.lease("w").unit is None
+
+    def test_fail_from_a_stale_worker_is_ignored(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=clock)
+        coordinator.lease("a")
+        assert coordinator.fail("not-the-holder", 0, "x") == "ignored"
+        clock.advance(5.1)
+        # Expired: the original holder's report is stale too.
+        assert coordinator.fail("a", 0, "x") == "ignored"
+        assert coordinator.status()["quarantined"] == 0
+
+    def test_fail_unknown_unit_is_an_error(self):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=5, clock=FakeClock())
+        with pytest.raises(ConfigurationError, match="unknown unit"):
+            coordinator.fail("w", 99)
+
+    def test_silent_worker_death_quarantines_via_the_lease_path(self):
+        """Workers that die without reporting still trip the breaker."""
+        clock = FakeClock()
+        coordinator = SweepCoordinator(
+            _units(2), lease_ttl=5, clock=clock, max_attempts=2
+        )
+        for _ in range(2):
+            assert coordinator.lease("doomed").unit.unit_id == 0
+            clock.advance(5.1)
+        # Attempt cap burned with no completion: the next lease call
+        # quarantines unit 0 and hands out unit 1 instead.
+        reply = coordinator.lease("fresh")
+        assert reply.unit.unit_id == 1
+        status = coordinator.status()
+        assert status["quarantined"] == 1
+        assert "workers died" in status["quarantine"]["0"]["error"]
+
+    def test_max_attempts_none_never_quarantines(self):
+        clock = FakeClock()
+        coordinator = SweepCoordinator(
+            _units(1), lease_ttl=5, clock=clock, max_attempts=None
+        )
+        for attempt in range(1, 20):
+            assert coordinator.lease("w").attempt == attempt
+            assert coordinator.fail("w", 0, "boom") == "requeued"
+        assert coordinator.status()["quarantined"] == 0
+
+    def test_late_completion_lifts_the_quarantine(self):
+        coordinator = SweepCoordinator(
+            _units(1), lease_ttl=10, clock=FakeClock(), max_attempts=1
+        )
+        coordinator.lease("w")
+        assert coordinator.fail("w", 0, "boom") == "quarantined"
+        assert coordinator.complete("straggler", 0) == "late"
+        status = coordinator.status()
+        assert status["quarantined"] == 0 and status["completed"] == 1
+        assert status["quarantine"] == {}
+
+    def test_quarantine_survives_recovery(self, tmp_path):
+        journal = str(tmp_path / JOURNAL_NAME)
+        coordinator = SweepCoordinator(
+            _units(2),
+            lease_ttl=10,
+            clock=FakeClock(),
+            journal_path=journal,
+            max_attempts=2,
+        )
+        coordinator.lease("w")
+        assert coordinator.fail("w", 0, "boom") == "requeued"
+        coordinator.lease("w")
+        assert coordinator.fail("w", 0, "boom again") == "quarantined"
+        coordinator.lease("w")
+        assert coordinator.complete("w", 1) == "completed"
+        coordinator.close()
+
+        recovered = SweepCoordinator.recover(
+            _units(2), journal, lease_ttl=10, clock=FakeClock(), max_attempts=2
+        )
+        status = recovered.status()
+        assert status["quarantined"] == 1 and status["completed"] == 1
+        assert status["quarantine"]["0"]["error"] == "boom again"
+        assert status["quarantine"]["0"]["attempts"] == 2
+        assert recovered.done
+        # The breaker does not reset: the unit stays un-leasable.
+        assert recovered.lease("w").unit is None
+        recovered.close()
+        second = SweepCoordinator.recover(
+            _units(2), journal, lease_ttl=10, clock=FakeClock(), max_attempts=2
+        )
+        assert second.status() == status
+        second.close()
+
+    def test_attempt_counts_survive_recovery_mid_streak(self, tmp_path):
+        """A coordinator crash must not reset a poison unit's breaker."""
+        journal = str(tmp_path / JOURNAL_NAME)
+        coordinator = SweepCoordinator(
+            _units(1),
+            lease_ttl=10,
+            clock=FakeClock(),
+            journal_path=journal,
+            max_attempts=2,
+        )
+        coordinator.lease("w")
+        assert coordinator.fail("w", 0, "boom") == "requeued"
+        coordinator.close()
+        recovered = SweepCoordinator.recover(
+            _units(1), journal, lease_ttl=10, clock=FakeClock(), max_attempts=2
+        )
+        reply = recovered.lease("w")
+        assert reply.attempt == 2  # not back to 1
+        assert recovered.fail("w", 0, "boom") == "quarantined"
+        recovered.close()
+
+    def test_recovery_quarantines_via_journaled_quarantine_event(self, tmp_path):
+        """The quarantine transition itself is journaled and replayed."""
+        journal = str(tmp_path / JOURNAL_NAME)
+        coordinator = SweepCoordinator(
+            _units(1),
+            lease_ttl=10,
+            clock=FakeClock(),
+            journal_path=journal,
+            max_attempts=1,
+        )
+        coordinator.lease("w")
+        coordinator.fail("w", 0, "boom")
+        coordinator.close()
+        events = [e["event"] for e in read_jsonl(journal)]
+        assert events == ["lease", "quarantine"]
+
+    def test_completion_beats_quarantine_in_the_journal(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        events = [
+            {"event": "lease", "unit": 0, "worker": "a", "attempt": 1},
+            {"event": "complete", "unit": 0, "worker": "a", "verdict": "late"},
+            {"event": "quarantine", "unit": 0, "worker": "a", "error": "x"},
+        ]
+        with open(journal, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        recovered = SweepCoordinator.recover(
+            _units(1), journal, lease_ttl=5, clock=FakeClock()
+        )
+        status = recovered.status()
+        assert status["completed"] == 1 and status["quarantined"] == 0
+        recovered.close()
+
+
+class TestPushIntegrity:
+    FILES = {"shards/t.jsonl": '{"r":1}\n', "index.json": "{}\n"}
+
+    def test_matching_digests_verify(self):
+        verify_pushed_files(self.FILES, {
+            rel: file_digest(text) for rel, text in self.FILES.items()
+        })
+
+    def test_truncated_file_is_rejected(self):
+        digests = {rel: file_digest(text) for rel, text in self.FILES.items()}
+        corrupted = dict(self.FILES)
+        corrupted["shards/t.jsonl"] = corrupted["shards/t.jsonl"][:3]
+        with pytest.raises(PushIntegrityError, match="corrupt"):
+            verify_pushed_files(corrupted, digests)
+
+    def test_manifest_key_mismatch_is_rejected(self):
+        digests = {rel: file_digest(text) for rel, text in self.FILES.items()}
+        short = {"index.json": self.FILES["index.json"]}
+        with pytest.raises(PushIntegrityError, match="manifest mismatch"):
+            verify_pushed_files(short, digests)
+
+    def test_write_pushed_store_verifies_before_staging(self, tmp_path):
+        digests = {rel: file_digest(text) for rel, text in self.FILES.items()}
+        corrupted = dict(self.FILES)
+        corrupted["shards/t.jsonl"] = ""
+        with pytest.raises(PushIntegrityError):
+            write_pushed_store(str(tmp_path), "bad", corrupted, digests)
+        assert list(tmp_path.iterdir()) == []  # nothing staged
+
+    def test_http_corrupt_push_is_409_and_retryable(self, tmp_path):
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        staging = str(tmp_path / "staging")
+        with CoordinatorServer(coordinator, staging) as server:
+            transport = HTTPTransport(server.url)
+            digests = {
+                rel: file_digest(text) for rel, text in self.FILES.items()
+            }
+            corrupted = dict(self.FILES)
+            corrupted["shards/t.jsonl"] = '{"r"'
+            with pytest.raises(PushIntegrityError) as excinfo:
+                transport._deliver("u0-a1-w", corrupted, digests)
+            assert isinstance(excinfo.value, RetryableError)
+            assert "409" in str(excinfo.value)
+            assert pushed_store_dirs(staging) == []
+            # The retried (intact) push converges.
+            transport._deliver("u0-a1-w", self.FILES, digests)
+            assert len(pushed_store_dirs(staging)) == 1
+
+    def test_digestless_push_is_still_accepted(self, tmp_path):
+        """Back-compat: a digest-free push (an older worker) stages."""
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        staging = str(tmp_path / "staging")
+        with CoordinatorServer(coordinator, staging) as server:
+            reply = CoordinatorClient(server.url)._post(
+                "/push?name=legacy", {"files": {"shards/t.jsonl": "x\n"}}
+            )
+            assert reply["stored"] == "legacy"
+
+    def test_http_transport_retry_rides_out_integrity_failures(self, tmp_path):
+        """A transport given a policy retries a 409 by itself."""
+        coordinator = SweepCoordinator(_units(1), lease_ttl=30)
+        staging = str(tmp_path / "staging")
+        store_root = tmp_path / "src"
+        store = TrialStore(store_root)
+        spec = TrialSpec.of("cycle", 12, 0)
+        store.put("t", spec, _probe_task(spec))
+        store.close()
+        with CoordinatorServer(coordinator, staging) as server:
+            recorder = _SleepRecorder()
+            policy = RetryPolicy(attempts=3, base_delay=0.01, sleep=recorder)
+            transport = HTTPTransport(server.url, retry=policy)
+
+            class CorruptOnce(HTTPTransport):
+                pushes = 0
+
+                def _deliver(self, name, files, digests):
+                    # First attempt ships a truncated payload with the
+                    # honest digests; the retry ships clean.
+                    CorruptOnce.pushes += 1
+                    if CorruptOnce.pushes == 1:
+                        files = dict(files)
+                        victim = sorted(files)[0]
+                        files[victim] = files[victim][:1]
+                    return HTTPTransport._deliver(self, name, files, digests)
+
+            corrupt = CorruptOnce(server.url, retry=policy)
+            corrupt.push(str(store_root), "u0-a1-w")
+            assert CorruptOnce.pushes == 2
+            assert len(recorder.calls) == 1
+            assert len(pushed_store_dirs(staging)) == 1
+
+
+class _ScriptedControl:
+    """A control-plane stub driven by a list of lease outcomes."""
+
+    def __init__(self, leases) -> None:
+        self.leases = list(leases)
+        self.log: list = []
+
+    def lease(self, worker_id):
+        self.log.append("lease")
+        outcome = self.leases.pop(0) if self.leases else LeaseReply(None, 0, True)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def renew(self, worker_id, unit_id):
+        self.log.append("renew")
+        return True
+
+    def complete(self, worker_id, unit_id):
+        self.log.append("complete")
+        return "completed"
+
+    def release(self, worker_id, unit_id):
+        self.log.append("release")
+        return True
+
+    def fail(self, worker_id, unit_id, error=""):
+        self.log.append(("fail", error))
+        return "requeued"
+
+
+class TestWorkerResilience:
+    def _noop_execute(self, unit, store, renew):
+        renew()
+
+    def test_idle_poll_jitter_schedule_is_pinned_per_worker(self, tmp_path):
+        """Satellite: a lockstep fleet must not hammer /lease in waves."""
+        schedules = {}
+        for worker_id in ("w1", "w2"):
+            control = _ScriptedControl(
+                [LeaseReply(None, 0, False)] * 3 + [LeaseReply(None, 0, True)]
+            )
+            recorder = _SleepRecorder()
+            run_worker(
+                control,
+                self._noop_execute,
+                DirTransport(str(tmp_path / "staging")),
+                str(tmp_path / f"scratch-{worker_id}"),
+                worker_id=worker_id,
+                poll=1.0,
+                sleep=recorder,
+            )
+            expected = [
+                1.0 * (0.5 + deterministic_uniform(k, "idle-poll", worker_id))
+                for k in range(3)
+            ]
+            assert recorder.calls == expected
+            for delay in recorder.calls:
+                assert 0.5 <= delay < 1.5
+            schedules[worker_id] = recorder.calls
+        # Distinct workers de-synchronize: no shared poll cadence.
+        assert schedules["w1"] != schedules["w2"]
+
+    def test_worker_rides_out_a_coordinator_restart(self, tmp_path):
+        """The retry budget bridges the gap a --resume restart leaves."""
+        unit = WorkUnit.of(0, "s", 0, 1)
+        control = _ScriptedControl(
+            [
+                CoordinatorUnavailable("restarting"),
+                CoordinatorUnavailable("still restarting"),
+                LeaseReply(unit, 1),
+            ]
+        )
+        recorder = _SleepRecorder()
+        stats = run_worker(
+            control,
+            self._noop_execute,
+            DirTransport(str(tmp_path / "staging")),
+            str(tmp_path / "scratch"),
+            worker_id="patient",
+            sleep=recorder,
+            retry=RetryPolicy(
+                attempts=5, base_delay=0.01, seed="patient", sleep=recorder
+            ),
+        )
+        assert stats["completed"] == 1
+        assert stats["retries"] == 2
+        assert len(recorder.calls) == 2  # two backoff sleeps, no idle polls
+
+    def test_without_a_policy_the_first_outage_ends_the_loop(self, tmp_path):
+        control = _ScriptedControl([CoordinatorUnavailable("down")])
+        stats = run_worker(
+            control,
+            self._noop_execute,
+            DirTransport(str(tmp_path / "staging")),
+            str(tmp_path / "scratch"),
+            worker_id="impatient",
+            sleep=_SleepRecorder(),
+        )
+        assert stats["completed"] == 0 and stats["retries"] == 0
+
+    def test_auth_error_in_renew_hook_is_fatal_and_loud(self, tmp_path):
+        """Satellite regression: a 401 surfacing through the renew
+        progress hook used to propagate as an anonymous compute failure
+        (release + worker death). It must surface as the
+        AuthenticationError it is — naming the token mismatch — and must
+        NOT be reported through /fail (which would 401 too)."""
+        unit = WorkUnit.of(0, "s", 0, 1)
+
+        class ExpiredToken(_ScriptedControl):
+            def renew(self, worker_id, unit_id):
+                raise AuthenticationError(
+                    "coordinator rejected our auth token (HTTP 401)"
+                )
+
+        control = ExpiredToken([LeaseReply(unit, 1)])
+
+        def execute(unit, store, renew):
+            renew()  # the per-trial progress hook
+
+        with pytest.raises(AuthenticationError, match="auth token"):
+            run_worker(
+                control,
+                execute,
+                DirTransport(str(tmp_path / "staging")),
+                str(tmp_path / "scratch"),
+                worker_id="mismatched",
+                sleep=_SleepRecorder(),
+            )
+        assert not any(
+            isinstance(entry, tuple) and entry[0] == "fail"
+            for entry in control.log
+        )
+
+    def test_execute_failure_message_reaches_the_coordinator(self, tmp_path):
+        unit = WorkUnit.of(0, "s", 0, 1)
+        control = _ScriptedControl([LeaseReply(unit, 1)])
+
+        def explode(unit, store, renew):
+            raise ValueError("poisoned payload")
+
+        stats = run_worker(
+            control,
+            explode,
+            DirTransport(str(tmp_path / "staging")),
+            str(tmp_path / "scratch"),
+            worker_id="reporter",
+            sleep=_SleepRecorder(),
+        )
+        assert stats["failed"] == 1
+        assert ("fail", "ValueError: poisoned payload") in control.log
+
+
+class TestControlPlaneConcurrency:
+    def test_slow_push_does_not_block_renew(self, tmp_path, monkeypatch):
+        """Satellite: /push and /renew are served by separate threads —
+        a worker uploading a big store must not starve another worker's
+        renewals into spurious lease expiry."""
+        from repro.sim.batch import distrib
+
+        real_write = distrib.write_pushed_store
+        entered = threading.Event()
+
+        def slow_write(staging_root, name, files, digests=None):
+            entered.set()
+            time.sleep(1.0)
+            return real_write(staging_root, name, files, digests)
+
+        monkeypatch.setattr(distrib, "write_pushed_store", slow_write)
+        source = tmp_path / "src"
+        store = TrialStore(source)
+        spec = TrialSpec.of("cycle", 12, 0)
+        store.put("t", spec, _probe_task(spec))
+        store.close()
+
+        coordinator = SweepCoordinator(_units(2), lease_ttl=0.8)
+        with CoordinatorServer(coordinator, str(tmp_path / "staging")) as server:
+            client = CoordinatorClient(server.url)
+            assert client.lease("renewer").unit.unit_id == 0
+            pusher = threading.Thread(
+                target=HTTPTransport(server.url).push,
+                args=(str(source), "u1-a1-other"),
+            )
+            pusher.start()
+            assert entered.wait(timeout=5)
+            # The push is asleep inside the handler; renewals must both
+            # return promptly and keep the lease alive past its TTL.
+            deadline = time.time() + 1.2
+            while time.time() < deadline:
+                start = time.time()
+                assert client.renew("renewer", 0)
+                assert time.time() - start < 0.5
+                time.sleep(0.1)
+            pusher.join(timeout=10)
+            assert not pusher.is_alive()
+            assert client.complete("renewer", 0) == "completed"
+        assert coordinator.reassigned == 0
