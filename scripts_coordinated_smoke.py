@@ -56,6 +56,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.analysis import EXPERIMENTS  # noqa: E402
+from repro.scenarios import scenario_from_arg  # noqa: E402
 from repro.sim.batch import TrialStore  # noqa: E402
 from repro.sim.batch.distrib import JOURNAL_NAME  # noqa: E402
 
@@ -128,12 +129,15 @@ def _free_port():
 def _coordinator_argv(
     args, merged_dir, staging_dir, resume=False, endpoint="127.0.0.1:0", extra=()
 ):
+    if args.scenario is not None:
+        # A scenario owns its seed plan, so --seed must stay home.
+        what = ["--scenario", args.scenario]
+    else:
+        what = [args.experiment, "--seed", str(args.seed)]
     argv = [
         "-m",
         "repro.analysis",
-        args.experiment,
-        "--seed",
-        str(args.seed),
+        *what,
         "--store",
         merged_dir,
         "--staging",
@@ -511,6 +515,13 @@ def main(argv=None):
         help="seed for the workers' deterministic fault plans (default 11)",
     )
     parser.add_argument("--experiment", default="e06")
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE|NAME",
+        default=None,
+        help="coordinate a sweep-kind scenario instead of --experiment "
+        "(library name or YAML/JSON path; its units carry the spec)",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--timeout", type=float, default=240.0)
     args = parser.parse_args(argv)
@@ -524,9 +535,15 @@ def main(argv=None):
     merged_dir = os.path.join(args.dir, "merged")
     staging_dir = os.path.join(args.dir, "staging")
 
-    print(f"single-host baseline: {args.experiment} -> {baseline_dir}", flush=True)
+    target = args.scenario if args.scenario is not None else args.experiment
+    print(f"single-host baseline: {target} -> {baseline_dir}", flush=True)
     with TrialStore(baseline_dir) as baseline_store:
-        EXPERIMENTS[args.experiment](quick=True, seed=args.seed, store=baseline_store)
+        if args.scenario is not None:
+            scenario_from_arg(args.scenario).run(store=baseline_store)
+        else:
+            EXPERIMENTS[args.experiment](
+                quick=True, seed=args.seed, store=baseline_store
+            )
         baseline_count = len(baseline_store)
     assert baseline_count > 0, "baseline sweep stored nothing"
 

@@ -51,9 +51,12 @@ import time
 from repro.analysis import EXPERIMENTS
 from repro.analysis.experiments import SWEEPING
 from repro.analysis.cli import (
+    add_scenario_argument,
     add_store_arguments,
+    apply_scenario_argument,
     positive_int,
     resolve_store_arguments,
+    run_scenario_locally,
     run_store_commands,
 )
 from repro.analysis.coordinated import (
@@ -69,7 +72,9 @@ def main(argv=None) -> int:
                         help="experiment names (default: all)")
     parser.add_argument("--quick", action="store_true",
                         help="quick profile (benchmark scale)")
-    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed for the sweeps (default 1; "
+                             "conflicts with --scenario)")
     parser.add_argument("--workers", type=positive_int, default=None,
                         help="process fan-out for the seed-sweeping "
                              "experiments e01-e06/e08/e10 "
@@ -77,17 +82,23 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="with --store: list the store's contents and "
                              "exit")
+    add_scenario_argument(parser)
     add_store_arguments(parser)
     add_coordination_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
-        handled = run_coordination(args, args.names or sorted(EXPERIMENTS),
-                                   quick=args.quick, seed=args.seed)
+        scenario, names, quick, seed = apply_scenario_argument(
+            args, quick=args.quick, profile_flag_set=args.quick,
+            profile_flag="--quick")
+        handled = run_coordination(args, names, quick=quick, seed=seed,
+                                   scenario=scenario)
         if handled is not None:
             return handled
         store, shard = resolve_store_arguments(args)
         handled = run_store_commands(args, store)
+        if handled is None and scenario is not None:
+            handled = run_scenario_locally(scenario, args, store, shard)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -98,7 +109,6 @@ def main(argv=None) -> int:
               "see python -m repro.analysis --list", file=sys.stderr)
         return 2
 
-    names = args.names or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; "
@@ -111,7 +121,7 @@ def main(argv=None) -> int:
                   f"it runs on the merge host", flush=True)
             continue
         start = time.time()
-        table = EXPERIMENTS[name](quick=args.quick, seed=args.seed,
+        table = EXPERIMENTS[name](quick=quick, seed=seed,
                                   workers=args.workers, store=store,
                                   shard=shard)
         took = time.time() - start

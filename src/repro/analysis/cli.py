@@ -8,6 +8,17 @@ Usage::
     python -m repro.analysis a1 a2 a3        # ablations
     python -m repro.analysis --list          # show what exists
 
+Scenario files (README "Scenario files") replace the name/profile/seed
+flags with one declarative spec — a library name or a YAML/JSON path::
+
+    python -m repro.analysis --scenario paper-quick       # == all, quick
+    python -m repro.analysis --scenario crash-midround    # adversarial sweep
+    python -m repro.analysis --scenario my-sweep.yaml     # your own file
+
+A scenario owns its profile and seed plan, so it conflicts with
+``--full``, ``--seed`` and positional names; store, shard, and
+coordinator/worker modes thread through unchanged.
+
 Durable sweeps (see README "Durable sweep store")::
 
     python -m repro.analysis --full --store runs/full        # resumable
@@ -48,10 +59,12 @@ import time
 from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..scenarios import ScenarioSpec, available, scenario_from_arg
 from ..sim.batch import TrialStore, merge_stores
 from .ablations import ABLATIONS
 from .coordinated import add_coordination_arguments, run_coordination
 from .experiments import EXPERIMENTS, SWEEPING
+from .tables import scenario_table
 
 
 def positive_int(text: str) -> int:
@@ -80,6 +93,73 @@ def add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--merge", nargs="+", metavar="SRC", default=None,
                         help="merge these store directories into --store "
                              "and exit")
+
+
+def add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    """The declarative-spec flag, shared by this CLI and the script CLI."""
+    parser.add_argument("--scenario", metavar="FILE|NAME", default=None,
+                        help="run a declarative scenario instead of named "
+                             "experiments: a YAML/JSON spec path, or a "
+                             "library scenario name "
+                             f"({', '.join(available())})")
+
+
+def apply_scenario_argument(
+        args: argparse.Namespace, *, quick: bool, profile_flag_set: bool,
+        profile_flag: str,
+) -> Tuple[Optional[ScenarioSpec], List[str], bool, int]:
+    """Resolve ``--scenario`` against the classic flags, loudly.
+
+    Returns ``(sweep_scenario, names, quick, seed)``. A scenario owns
+    its own profile and seed plan, so combining it with positional
+    names, the profile flag, or an explicit ``--seed`` is a conflict
+    (``--seed`` defaults to ``None`` in both CLIs precisely so an
+    explicit value is detectable; it resolves to 1 here).
+    Experiments-kind scenarios lower to the classic triple and return
+    no scenario; sweep-kind scenarios return the spec itself.
+    """
+    seed = args.seed if args.seed is not None else 1
+    names = list(args.names) or sorted(EXPERIMENTS)
+    if args.scenario is None:
+        return None, names, quick, seed
+    if getattr(args, "worker", None) is not None:
+        raise ConfigurationError(
+            "--worker takes no --scenario: the coordinator decides which "
+            "sweeps this worker runs (its units carry the spec)")
+    if args.names:
+        raise ConfigurationError(
+            f"--scenario and positional names are mutually exclusive: the "
+            f"scenario decides what runs (got {args.names})")
+    if profile_flag_set:
+        raise ConfigurationError(
+            f"--scenario and {profile_flag} conflict: the scenario fixes "
+            f"its own profile")
+    if args.seed is not None:
+        raise ConfigurationError(
+            "--scenario and --seed conflict: the scenario fixes its own "
+            "seed plan")
+    spec = scenario_from_arg(args.scenario)
+    if spec.kind == "experiments":
+        grid = spec.experiments
+        return None, list(grid.names), grid.profile == "quick", grid.seed
+    return spec, [], quick, seed
+
+
+def run_scenario_locally(
+        scenario: ScenarioSpec, args: argparse.Namespace,
+        store: Optional[TrialStore], shard: Optional[Tuple[int, int]],
+) -> int:
+    """Run a sweep-kind scenario in-process; render unless sharding."""
+    start = time.time()
+    results = scenario.run(workers=args.workers, store=store, shard=shard)
+    took = time.time() - start
+    if shard is not None:
+        print(f"[{scenario.name}: shard {shard[0]}/{shard[1]} populated in "
+              f"{took:.1f}s; store now holds {len(store)} result(s)]")
+        return 0
+    print(scenario_table(scenario, results).render())
+    print(f"[{scenario.name}: {took:.1f}s]")
+    return 0
 
 
 def resolve_store_arguments(
@@ -130,7 +210,9 @@ def main(argv: List[str] = None) -> int:
                              "experiments)")
     parser.add_argument("--full", action="store_true",
                         help="full profile (EXPERIMENTS.md scale; slow)")
-    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed for the sweeps (default 1; "
+                             "conflicts with --scenario)")
     parser.add_argument("--workers", type=positive_int, default=None,
                         help="process fan-out for the seed-sweeping "
                              "experiments e01-e06/e08/e10 "
@@ -138,17 +220,23 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list available names and exit (with --store: "
                              "list the store's contents instead)")
+    add_scenario_argument(parser)
     add_store_arguments(parser)
     add_coordination_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
-        handled = run_coordination(args, args.names or sorted(EXPERIMENTS),
-                                   quick=not args.full, seed=args.seed)
+        scenario, names, quick, seed = apply_scenario_argument(
+            args, quick=not args.full, profile_flag_set=args.full,
+            profile_flag="--full")
+        handled = run_coordination(args, names, quick=quick, seed=seed,
+                                   scenario=scenario)
         if handled is not None:
             return handled
         store, shard = resolve_store_arguments(args)
         handled = run_store_commands(args, store)
+        if handled is None and scenario is not None:
+            handled = run_scenario_locally(scenario, args, store, shard)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -160,9 +248,9 @@ def main(argv: List[str] = None) -> int:
         for name in sorted(registry):
             doc = (registry[name].__doc__ or "").strip().splitlines()[0]
             print(f"{name}: {doc}")
+        print(f"library scenarios (--scenario): {', '.join(available())}")
         return 0
 
-    names = args.names or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in registry]
     if unknown:
         print(f"unknown experiment(s): {unknown}; try --list",
@@ -177,7 +265,7 @@ def main(argv: List[str] = None) -> int:
                   f"on the merge host]")
             continue
         start = time.time()
-        kwargs = dict(quick=not args.full, seed=args.seed)
+        kwargs = dict(quick=quick, seed=seed)
         if name in EXPERIMENTS:  # ablations do not fan out
             kwargs.update(workers=args.workers, store=store, shard=shard)
         table = registry[name](**kwargs)

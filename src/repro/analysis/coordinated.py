@@ -65,11 +65,17 @@ from ..sim.batch.distrib import (
     TOKEN_ENV_VAR,
     default_worker_id,
 )
+from ..scenarios import ScenarioSpec
 from .experiments import EXPERIMENTS, SWEEPING
+from .tables import scenario_table
 
 #: File name of the coordinator's quarantine report inside the staging
 #: directory (written whenever the sweep finishes; CI uploads it).
 QUARANTINE_REPORT_NAME = "quarantine.json"
+
+#: Sweep-name prefix that marks a work unit as carrying a serialized
+#: :class:`ScenarioSpec` instead of naming an experiment driver.
+SCENARIO_SWEEP_PREFIX = "scenario:"
 
 
 def add_coordination_arguments(parser: argparse.ArgumentParser) -> None:
@@ -268,13 +274,49 @@ def experiment_units(
     return units
 
 
+def scenario_units(scenario: ScenarioSpec, count: int) -> List[WorkUnit]:
+    """Leasable units: ``count`` shard slices of one sweep scenario.
+
+    The spec itself rides along in the unit payload (canonical JSON, so
+    the journal stays content-addressed and a worker needs no scenario
+    file on disk); workers rebuild it with :meth:`ScenarioSpec.from_dict`
+    and run their ``(index, count)`` slice of its compiled grid.
+    """
+    if count < 1:
+        raise ConfigurationError(f"--units must be >= 1, got {count}")
+    if scenario.kind != "sweep":
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is an experiments grid; lower it "
+            f"to experiment names before building units"
+        )
+    payload = scenario.canonical_json()
+    sweep = SCENARIO_SWEEP_PREFIX + scenario.name
+    return [
+        WorkUnit.of(index, sweep, index, count, spec=payload)
+        for index in range(count)
+    ]
+
+
 def execute_experiment_unit(
     unit: WorkUnit,
     store: TrialStore,
     progress: Callable[..., None],
     workers: Optional[int] = None,
 ) -> None:
-    """Run one unit: the named driver's ``(index, count)`` slice."""
+    """Run one unit: the named driver's ``(index, count)`` slice.
+
+    ``scenario:`` units carry their whole spec in the payload instead
+    of naming a driver — rebuild it and run the slice directly.
+    """
+    if unit.sweep.startswith(SCENARIO_SWEEP_PREFIX):
+        spec = ScenarioSpec.from_dict(json.loads(str(unit.param("spec"))))
+        spec.run(
+            workers=workers,
+            store=store,
+            shard=(unit.index, unit.count),
+            progress=progress,
+        )
+        return
     driver = EXPERIMENTS.get(unit.sweep)
     if driver is None:
         raise ConfigurationError(
@@ -292,9 +334,18 @@ def execute_experiment_unit(
 
 
 def run_coordination(
-    args: argparse.Namespace, names: Sequence[str], quick: bool, seed: int
+    args: argparse.Namespace,
+    names: Sequence[str],
+    quick: bool,
+    seed: int,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> Optional[int]:
-    """Dispatch --coordinator/--worker; None means neither was asked for."""
+    """Dispatch --coordinator/--worker; None means neither was asked for.
+
+    ``scenario`` is a sweep-kind :class:`ScenarioSpec` to coordinate in
+    place of the named experiments (experiments-kind scenarios are
+    lowered to ``names``/``quick``/``seed`` before this is called).
+    """
     if args.coordinator is None and args.worker is None:
         return None
     if args.coordinator is not None and args.worker is not None:
@@ -326,7 +377,7 @@ def run_coordination(
                 "threshold); workers just report failures — drop it"
             )
         return run_worker_mode(args)
-    return run_coordinator_mode(args, names, quick, seed)
+    return run_coordinator_mode(args, names, quick, seed, scenario=scenario)
 
 
 def open_coordinator(
@@ -414,7 +465,11 @@ def report_quarantine(status: dict, staging: str) -> str:
 
 
 def run_coordinator_mode(
-    args: argparse.Namespace, names: Sequence[str], quick: bool, seed: int
+    args: argparse.Namespace,
+    names: Sequence[str],
+    quick: bool,
+    seed: int,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> int:
     """Serve units, wait for the fleet, merge, repack, render tables."""
     if args.store is None:
@@ -422,14 +477,17 @@ def run_coordinator_mode(
             "--coordinator requires --store DIR: the final merged store is "
             "the whole point of the exercise"
         )
-    unknown = [name for name in names if name not in EXPERIMENTS]
-    if unknown:
-        raise ConfigurationError(
-            f"unknown experiment(s) for --coordinator: {unknown}; choose "
-            f"from {sorted(EXPERIMENTS)}"
-        )
     host, port = parse_endpoint(args.coordinator)
-    units = experiment_units(names, args.units, quick, seed)
+    if scenario is not None:
+        units = scenario_units(scenario, args.units)
+    else:
+        unknown = [name for name in names if name not in EXPERIMENTS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown experiment(s) for --coordinator: {unknown}; choose "
+                f"from {sorted(EXPERIMENTS)}"
+            )
+        units = experiment_units(names, args.units, quick, seed)
     staging = args.staging or args.store.rstrip(os.sep) + ".staging"
     journal = os.path.join(staging, JOURNAL_NAME)
     coordinator = open_coordinator(args, units, journal)
@@ -438,9 +496,7 @@ def run_coordinator_mode(
     staging_store = None
     final = None
     try:
-        server = CoordinatorServer(
-            coordinator, staging, host, port, auth_token=token
-        )
+        server = CoordinatorServer(coordinator, staging, host, port, auth_token=token)
         with server:
             print(f"coordinator listening on {server.url}", flush=True)
             print(
@@ -487,12 +543,17 @@ def run_coordinator_mode(
         # them; their results exist thanks to the local backfill).
         final = TrialStore(args.store)
         layered = ReadThroughStore(final, staging_store)
-        for name in names:
-            table = EXPERIMENTS[name](
-                quick=quick, seed=seed, workers=args.workers, store=layered
-            )
-            print(table.render())
+        if scenario is not None:
+            results = scenario.run(workers=args.workers, store=layered)
+            print(scenario_table(scenario, results).render())
             print()
+        else:
+            for name in names:
+                table = EXPERIMENTS[name](
+                    quick=quick, seed=seed, workers=args.workers, store=layered
+                )
+                print(table.render())
+                print()
         print(
             f"coordinated sweep done in {time.time() - start:.1f}s: "
             f"units={status['completed']} "
@@ -572,9 +633,7 @@ def run_worker_mode(args: argparse.Namespace) -> int:
 
     def execute(unit: WorkUnit, store: TrialStore, renew: Callable[..., None]):
         if poison is not None and unit.unit_id == poison:
-            raise RuntimeError(
-                f"chaos: unit {unit.unit_id} is poisoned on this fleet"
-            )
+            raise RuntimeError(f"chaos: unit {unit.unit_id} is poisoned on this fleet")
         if throttle > 0:
 
             def progress(spec, result):

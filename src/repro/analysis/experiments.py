@@ -27,6 +27,17 @@ host computes only its deterministic slice of every sweep (tables are
 then partial — merge the stores and rerun with ``store`` alone to
 render complete ones). Table assembly tolerates the placeholder
 results a sharded run leaves for other hosts' trials.
+
+Since the scenario layer landed, no driver builds its grid by hand:
+each sweeping driver has a ``_eXX_plan(quick, seed)`` producing
+:class:`~repro.scenarios.ScenarioSpec` sub-scenarios (one per table
+row group, preserving the historical per-call ``run_trials``
+granularity) whose ``compile()`` emits byte-identical
+:class:`~repro.sim.batch.TrialSpec` grids — same specs, same store
+keys, same tables. :func:`scenario_plan` exposes the plans;
+:func:`run_experiment_grid` executes an
+:class:`~repro.scenarios.ExperimentGrid` (the ``--scenario``
+experiments kind), and :func:`run_all` is now a thin wrapper over it.
 """
 
 from __future__ import annotations
@@ -58,10 +69,16 @@ from ..core.decomposition import (
     sparse_bits_decomposition,
     sparse_bits_strong_decomposition,
 )
-from ..errors import DerandomizationFailure
+from ..errors import ConfigurationError, DerandomizationFailure
 from ..graphs import assign, make, random_regular
 from ..randomness import IndependentSource, SparseRandomness
-from ..sim.batch import TrialResult, TrialSpec, TrialStore, run_trials
+from ..scenarios import (
+    ExperimentGrid,
+    ScenarioSpec,
+    register_task,
+    sweep_scenario,
+)
+from ..sim.batch import TrialResult, TrialSpec, TrialStore
 from .stats import log2_or_floor, success_rate, wilson_interval
 from .tables import Table
 
@@ -111,6 +128,15 @@ def _e01_trial(spec: TrialSpec) -> TrialResult:
     return TrialResult(spec, ok, data)
 
 
+def _e01_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    n = 144 if quick else 400
+    trials = 2 if quick else 5
+    return [sweep_scenario(
+        f"e01-h{h}", "e01", "grid", (n,),
+        description="Theorem 3.1 decomposition quality at holder radius h",
+        seed_count=trials, base=seed, h=h) for h in (1, 2, 4)]
+
+
 def e01_sparse_bits(quick: bool = False, seed: int = 0,
                     workers: Optional[int] = None,
                     store: Optional[TrialStore] = None,
@@ -122,14 +148,12 @@ def e01_sparse_bits(quick: bool = False, seed: int = 0,
     table shows colors staying logarithmic while the diameter scales
     with h — the h-dependence Theorem 3.7 then removes (E5).
     """
-    n = 144 if quick else 400
-    trials = 2 if quick else 5
     rows: List[Dict[str, object]] = []
-    for h in (1, 2, 4):
-        results = run_trials(
-            _e01_trial,
-            [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in _e01_plan(quick, seed):
+        h = scenario.algorithm.param("h")
+        n = scenario.graph.sizes[0]
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         outcomes = [r.ok for r in results]
         colors = [r.data["colors"] for r in results if r.ok]
         diams = [r.data["diam"] for r in results if r.ok]
@@ -173,6 +197,24 @@ def _e02_kwise_trial(spec: TrialSpec) -> TrialResult:
                        {"seed_bits": extra["seed_bits"]})
 
 
+def _e02_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    """The fully independent reference first, then one scenario per k."""
+    n = 48 if quick else 96
+    trials = 10 if quick else 30
+    phases = 4 * _logn(n)
+    cap = 2 * _logn(n)
+    plan = [sweep_scenario(
+        "e02-ref", "e02-ref", "cycle", (n,),
+        description="EN with fully independent radii (reference)",
+        seed_count=trials, base=seed, phases=phases, cap=cap)]
+    plan.extend(sweep_scenario(
+        f"e02-k{k}", "e02-kwise", "cycle", (n,),
+        description="EN under k-wise independent radii",
+        seed_count=trials, base=seed, k=k, phases=phases, cap=cap)
+        for k in (1, 2, 4, 8, 16, 32))
+    return plan
+
+
 def e02_kwise(quick: bool = False, seed: int = 0,
               workers: Optional[int] = None,
               store: Optional[TrialStore] = None,
@@ -184,25 +226,18 @@ def e02_kwise(quick: bool = False, seed: int = 0,
     everywhere, guaranteed failure); the theorem's Θ(log² n) regime
     matches fully independent behaviour.
     """
-    n = 48 if quick else 96
-    trials = 10 if quick else 30
-    ks = (1, 2, 4, 8, 16, 32)
-    phases = 4 * _logn(n)
-    cap = 2 * _logn(n)
+    ref_scenario, *k_scenarios = _e02_plan(quick, seed)
+    n = ref_scenario.graph.sizes[0]
+    trials = ref_scenario.seeds.count
     rows: List[Dict[str, object]] = []
     # Fully independent reference.
-    ref_results = run_trials(
-        _e02_ref_trial,
-        [TrialSpec.of("cycle", n, t, base=seed, phases=phases, cap=cap)
-         for t in range(trials)],
-        workers=workers, store=store, shard=shard, progress=progress)
+    ref_results = ref_scenario.run(workers=workers, store=store,
+                                   shard=shard, progress=progress)
     ref = [r.ok for r in ref_results]
-    for k in ks:
-        results = run_trials(
-            _e02_kwise_trial,
-            [TrialSpec.of("cycle", n, t, base=seed, k=k,
-                          phases=phases, cap=cap) for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in k_scenarios:
+        k = scenario.algorithm.param("k")
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         outcomes = [r.ok for r in results]
         lo, hi = wilson_interval(sum(outcomes), trials)
         rows.append({
@@ -231,23 +266,37 @@ def _e03_trial(spec: TrialSpec) -> TrialResult:
     return TrialResult(spec, ok, {"seed_bits": source.seed_bits})
 
 
+def _e03_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    """One scenario per randomness regime; ``family`` carries the
+    regime name (the task is registered ``free_family``)."""
+    num_v = 128 if quick else 512
+    num_u = 64 if quick else 256
+    degree = max(8, 2 * _logn(num_v) ** 2 // 2)
+    trials = 20 if quick else 100
+    return [sweep_scenario(
+        f"e03-{regime}", "e03", regime, (num_v,),
+        description="zero-round splitting under a randomness regime",
+        seed_count=trials, base=seed, num_u=num_u, degree=degree)
+        for regime in ("independent", "kwise", "shared-kwise",
+                       "epsilon-biased")]
+
+
 def e03_splitting(quick: bool = False, seed: int = 0,
                   workers: Optional[int] = None,
                   store: Optional[TrialStore] = None,
                   shard: Shard = None,
                   progress: Progress = None) -> Table:
     """Zero-round splitting under the four randomness regimes."""
-    num_v = 128 if quick else 512
-    num_u = 64 if quick else 256
-    degree = max(8, 2 * _logn(num_v) ** 2 // 2)
-    trials = 20 if quick else 100
+    plan = _e03_plan(quick, seed)
+    num_v = plan[0].graph.sizes[0]
+    num_u = plan[0].algorithm.param("num_u")
+    degree = plan[0].algorithm.param("degree")
+    trials = plan[0].seeds.count
     rows: List[Dict[str, object]] = []
-    for regime in ("independent", "kwise", "shared-kwise", "epsilon-biased"):
-        results = run_trials(
-            _e03_trial,
-            [TrialSpec.of(regime, num_v, t, base=seed, num_u=num_u,
-                          degree=degree) for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in plan:
+        regime = scenario.graph.family
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         outcomes = [r.ok for r in results]
         seed_bits = _last_metric(results, "seed_bits")
         lo, hi = wilson_interval(sum(outcomes), trials)
@@ -285,21 +334,26 @@ def _e04_trial(spec: TrialSpec) -> TrialResult:
     return TrialResult(spec, valid and not extra["unclustered"], data)
 
 
+def _e04_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    sizes = (48, 96) if quick else (64, 128, 256)
+    trials = 2 if quick else 5
+    return [sweep_scenario(
+        f"e04-n{n}", "e04", "gnp-sparse", (n,),
+        description="Theorem 3.6 shared-randomness decomposition quality",
+        seed_count=trials, base=seed) for n in sizes]
+
+
 def e04_shared_congest(quick: bool = False, seed: int = 0,
                        workers: Optional[int] = None,
                        store: Optional[TrialStore] = None,
                        shard: Shard = None,
                        progress: Progress = None) -> Table:
     """Decomposition quality and seed budget of the Theorem 3.6 run."""
-    sizes = (48, 96) if quick else (64, 128, 256)
-    trials = 2 if quick else 5
     rows: List[Dict[str, object]] = []
-    for n in sizes:
-        results = run_trials(
-            _e04_trial,
-            [TrialSpec.of("gnp-sparse", n, t, base=seed)
-             for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in _e04_plan(quick, seed):
+        n = scenario.graph.sizes[0]
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         ok = [r.ok for r in results]
         colors = [r.data["colors"] for r in results if r.data]
         diams = [r.data["diam"] for r in results if r.data]
@@ -344,20 +398,27 @@ def _e05_trial(spec: TrialSpec) -> TrialResult:
     return TrialResult(spec, d1 is not None and d2 is not None, data)
 
 
+def _e05_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    n = 144 if quick else 400
+    trials = 2 if quick else 4
+    return [sweep_scenario(
+        f"e05-h{h}", "e05", "grid", (n,),
+        description="Theorem 3.1 vs 3.7 diameter as h grows",
+        seed_count=trials, base=seed, h=h) for h in (1, 2, 4)]
+
+
 def e05_sparse_strong(quick: bool = False, seed: int = 0,
                       workers: Optional[int] = None,
                       store: Optional[TrialStore] = None,
                       shard: Shard = None,
                       progress: Progress = None) -> Table:
     """Theorem 3.1's diameter grows with h; Theorem 3.7's must not."""
-    n = 144 if quick else 400
-    trials = 2 if quick else 4
     rows: List[Dict[str, object]] = []
-    for h in (1, 2, 4):
-        results = run_trials(
-            _e05_trial,
-            [TrialSpec.of("grid", n, t, base=seed, h=h) for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in _e05_plan(quick, seed):
+        h = scenario.algorithm.param("h")
+        n = scenario.graph.sizes[0]
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         weak_diams = [r.data["weak"] for r in results if "weak" in r.data]
         strong_diams = [r.data["strong"] for r in results
                         if "strong" in r.data]
@@ -389,6 +450,17 @@ def _e06_trial(spec: TrialSpec) -> TrialResult:
                         "separated": extra["separated_set_size"]})
 
 
+def _e06_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    n = 100 if quick else 225
+    trials = 20 if quick else 60
+    phases = max(2, _logn(n) // 2)  # under-provisioned on purpose
+    cap = max(4, _logn(n))
+    return [sweep_scenario(
+        "e06", "e06", "grid", (n,),
+        description="Theorem 4.2 shattering with under-provisioned EN",
+        seed_count=trials, base=seed, phases=phases, cap=cap)]
+
+
 def e06_shattering(quick: bool = False, seed: int = 0,
                    workers: Optional[int] = None,
                    store: Optional[TrialStore] = None,
@@ -401,16 +473,13 @@ def e06_shattering(quick: bool = False, seed: int = 0,
     (2t+1)-separated core of V̄ is tiny, and the deterministic finish
     then always completes — strict EN fails where shattering succeeds.
     """
-    n = 100 if quick else 225
-    trials = 20 if quick else 60
-    phases = max(2, _logn(n) // 2)  # under-provisioned on purpose
-    cap = max(4, _logn(n))
+    scenario = _e06_plan(quick, seed)[0]
+    n = scenario.graph.sizes[0]
+    trials = scenario.seeds.count
+    phases = scenario.algorithm.param("phases")
     rows: List[Dict[str, object]] = []
-    results = run_trials(
-        _e06_trial,
-        [TrialSpec.of("grid", n, t, base=seed, phases=phases, cap=cap)
-         for t in range(trials)],
-        workers=workers, store=store, shard=shard, progress=progress)
+    results = scenario.run(workers=workers, store=store, shard=shard,
+                           progress=progress)
     leftovers = [r.data["leftover"] for r in results if "leftover" in r.data]
     seps = [r.data["separated"] for r in results if "separated" in r.data]
     en_fail = sum(1 for value in leftovers if value > 0)
@@ -504,25 +573,37 @@ def _e08_trial(spec: TrialSpec) -> TrialResult:
     return TrialResult(spec, dec is not None, {"rounds": rep.rounds})
 
 
+def _e08_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    """One scenario per claimed network size N = n * factor."""
+    n = 64 if quick else 100
+    trials = 20 if quick else 60
+    factors = (1, 2, 4, 16) if quick else (1, 2, 4, 16, 64)
+    plan = []
+    for factor in factors:
+        claimed = n * factor
+        plan.append(sweep_scenario(
+            f"e08-N{claimed}", "e08", "gnp-sparse", (n,),
+            description=f"EN parametrized for claimed N={claimed}",
+            seed_count=trials, base=seed,
+            phases=max(2, math.ceil(0.75 * _logn(claimed))),
+            cap=max(4, _logn(claimed))))
+    return plan
+
+
 def e08_lie_about_n(quick: bool = False, seed: int = 0,
                     workers: Optional[int] = None,
                     store: Optional[TrialStore] = None,
                     shard: Shard = None,
                     progress: Progress = None) -> Table:
     """Success probability and round cost of EN parametrized for N >= n."""
-    n = 64 if quick else 100
-    trials = 20 if quick else 60
-    factors = (1, 2, 4, 16) if quick else (1, 2, 4, 16, 64)
+    plan = _e08_plan(quick, seed)
+    n = plan[0].graph.sizes[0]
+    trials = plan[0].seeds.count
     rows: List[Dict[str, object]] = []
-    for factor in factors:
-        claimed = n * factor
-        phases = max(2, math.ceil(0.75 * _logn(claimed)))
-        cap = max(4, _logn(claimed))
-        results = run_trials(
-            _e08_trial,
-            [TrialSpec.of("gnp-sparse", n, t, base=seed, phases=phases,
-                          cap=cap) for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in plan:
+        claimed = int(scenario.name.split("N", 1)[1])
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         outcomes = [r.ok for r in results]
         rounds = _last_metric(results, "rounds")
         failures = trials - sum(outcomes)
@@ -595,6 +676,15 @@ def _e10_trial(spec: TrialSpec) -> TrialResult:
     return TrialResult(spec, ok, {"fixups": extra["fixup_rounds"]})
 
 
+def _e10_plan(quick: bool, seed: int) -> List[ScenarioSpec]:
+    sizes = (30, 90, 270) if quick else (30, 90, 270, 810)
+    trials = 5 if quick else 15
+    return [sweep_scenario(
+        f"e10-n{n}", "e10", "regular-3", (n,),
+        description="randomized sinkless-orientation fix-up convergence",
+        seed_count=trials, base=seed) for n in sizes]
+
+
 def e10_sinkless(quick: bool = False, seed: int = 0,
                  workers: Optional[int] = None,
                  store: Optional[TrialStore] = None,
@@ -603,15 +693,11 @@ def e10_sinkless(quick: bool = False, seed: int = 0,
     """Randomized fix-up convergence on d-regular graphs."""
     from ..core import randomized_orientation_engine
 
-    sizes = (30, 90, 270) if quick else (30, 90, 270, 810)
-    trials = 5 if quick else 15
     rows: List[Dict[str, object]] = []
-    for n in sizes:
-        results = run_trials(
-            _e10_trial,
-            [TrialSpec.of("regular-3", n, t, base=seed)
-             for t in range(trials)],
-            workers=workers, store=store, shard=shard, progress=progress)
+    for scenario in _e10_plan(quick, seed):
+        n = scenario.graph.sizes[0]
+        results = scenario.run(workers=workers, store=store, shard=shard,
+                               progress=progress)
         fixups = [r.data["fixups"] for r in results if "fixups" in r.data]
         valid = [r.ok for r in results]
         engine_ok: object = "-"
@@ -719,6 +805,75 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "e11": e11_uniform,
 }
 
+# Scenario-registry names for the sub-grid tasks: how library/loaded
+# scenarios refer to them (repro.scenarios resolves these lazily, so a
+# scenario file naming "e01" forces this module to import first).
+register_task("e01", _e01_trial)
+register_task("e02-ref", _e02_ref_trial)
+register_task("e02-kwise", _e02_kwise_trial)
+register_task("e03", _e03_trial, free_family=True)  # family = regime
+register_task("e04", _e04_trial)
+register_task("e05", _e05_trial)
+register_task("e06", _e06_trial)
+register_task("e08", _e08_trial)
+register_task("e10", _e10_trial)
+
+#: Per-driver scenario plans (sweeping drivers only): name -> plan fn.
+SCENARIO_PLANS: Dict[str, Callable[[bool, int], List[ScenarioSpec]]] = {
+    "e01": _e01_plan,
+    "e02": _e02_plan,
+    "e03": _e03_plan,
+    "e04": _e04_plan,
+    "e05": _e05_plan,
+    "e06": _e06_plan,
+    "e08": _e08_plan,
+    "e10": _e10_plan,
+}
+
+
+def scenario_plan(name: str, quick: bool = False,
+                  seed: int = 0) -> List[ScenarioSpec]:
+    """The sub-scenarios a sweeping driver executes, in driver order.
+
+    ``compile()`` of each emits exactly the TrialSpec grid the driver's
+    historical ``run_trials`` call used (asserted byte-for-byte in
+    ``tests/test_scenarios.py``), so stores and coordinator journals
+    keyed on those specs survive the scenario-layer refactor unchanged.
+    """
+    if name not in SCENARIO_PLANS:
+        raise ConfigurationError(
+            f"no scenario plan for {name!r}; sweeping drivers: "
+            f"{sorted(SCENARIO_PLANS)}")
+    return SCENARIO_PLANS[name](quick, seed)
+
+
+def run_experiment_grid(grid: ExperimentGrid,
+                        workers: Optional[int] = None,
+                        store: Optional[TrialStore] = None,
+                        shard: Shard = None,
+                        progress: Progress = None) -> List[Tuple[str, Table]]:
+    """Execute an experiments-kind scenario grid: ``(name, table)`` pairs.
+
+    The single driver dispatch point — :func:`run_all`, both CLIs, and
+    ``--scenario`` experiment grids all funnel through here, so the
+    quick/seed/store/shard plumbing lives in exactly one place. In
+    shard mode non-:data:`SWEEPING` drivers are skipped (nothing to
+    slice or store; see :func:`run_all`).
+    """
+    unknown = sorted(set(grid.names) - set(EXPERIMENTS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{sorted(EXPERIMENTS)}")
+    names = list(grid.names)
+    if shard is not None:
+        names = [name for name in names if name in SWEEPING]
+    quick = grid.profile == "quick"
+    return [(name, EXPERIMENTS[name](quick=quick, seed=grid.seed,
+                                     workers=workers, store=store,
+                                     shard=shard, progress=progress))
+            for name in names]
+
 
 def run_all(quick: bool = True, seed: int = 0,
             workers: Optional[int] = None,
@@ -736,9 +891,8 @@ def run_all(quick: bool = True, seed: int = 0,
     discarded on merge. ``progress`` is handed to every ``run_trials``
     call (see the module docstring).
     """
-    names = sorted(EXPERIMENTS)
-    if shard is not None:
-        names = [name for name in names if name in SWEEPING]
-    return [EXPERIMENTS[name](quick=quick, seed=seed, workers=workers,
-                              store=store, shard=shard, progress=progress)
-            for name in names]
+    grid = ExperimentGrid(names=tuple(sorted(EXPERIMENTS)),
+                          profile="quick" if quick else "full", seed=seed)
+    return [table for _name, table in
+            run_experiment_grid(grid, workers=workers, store=store,
+                                shard=shard, progress=progress)]

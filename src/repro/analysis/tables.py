@@ -54,3 +54,26 @@ class Table:
     def column(self, name: str) -> List[object]:
         """Extract one column as a list."""
         return [row.get(name) for row in self.rows]
+
+
+def scenario_table(scenario, results) -> Table:
+    """The generic rendering of a sweep-kind scenario's results.
+
+    Experiment drivers shape their own tables; a library or user
+    scenario has no bespoke driver, so this aggregates the trial
+    metrics per ``(family, n)`` cell and stamps the scenario's digest
+    into the notes — the same digest that keys its store cells, so a
+    table can be traced back to the exact spec that produced it.
+    """
+    from ..sim.batch import aggregate  # function-level: keep tables light
+
+    rows = aggregate(results, by=("family", "n"))
+    notes = []
+    if scenario.description:
+        notes.append(scenario.description)
+    notes.append(f"scenario {scenario.name} digest {scenario.digest()}")
+    return Table(
+        title=f"Scenario {scenario.name}: {scenario.algorithm.task} sweep",
+        rows=rows,
+        notes=notes,
+    )

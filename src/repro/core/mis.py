@@ -214,26 +214,39 @@ class ArrayLubyMIS(ArrayProgram):
 
 def luby_mis(graph: DistributedGraph, source: RandomSource,
              max_rounds: int = 100_000,
-             engine: str = "fast") -> AlgorithmResult:
+             engine: str = "fast",
+             faults=None) -> AlgorithmResult:
     """Run Luby's algorithm in the CONGEST model.
 
     ``engine`` selects the execution backend: ``"fast"`` steps the
     :class:`LubyMIS` node program per node on FastEngine; ``"array"``
     runs the whole-round :class:`ArrayLubyMIS` on ArrayEngine. Both
     produce bit-identical outputs and reports.
+
+    ``faults`` (a :class:`~repro.sim.batch.faults.RoundFaultPlan`) is
+    only supported on the fast engine; a crashed node's output stays
+    ``None`` and :func:`is_valid_mis` then reports the survivors'
+    independence/maximality honestly.
     """
     if engine == "array":
+        if faults is not None and faults.active:
+            raise ConfigurationError(
+                "fault injection requires engine='fast'; the array engine "
+                "has no per-message delivery hook")
         result = ArrayEngine(graph, ArrayLubyMIS(), source=source,
                              model=CONGEST, max_rounds=max_rounds).run()
     elif engine == "fast":
         result = FastEngine(graph, lambda _v: LubyMIS(), source=source,
-                            model=CONGEST, max_rounds=max_rounds).run()
+                            model=CONGEST, max_rounds=max_rounds,
+                            faults=faults).run()
     else:
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose 'fast' or 'array'")
     # Isolated nodes never hear from anyone and join immediately — make
-    # sure outputs are booleans everywhere.
-    assert all(isinstance(o, bool) for o in result.outputs.values())
+    # sure outputs are booleans everywhere. Under faults, crashed nodes
+    # legitimately die with output None.
+    if faults is None or not faults.active:
+        assert all(isinstance(o, bool) for o in result.outputs.values())
     return result
 
 

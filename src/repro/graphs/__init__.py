@@ -10,6 +10,7 @@ from .generators import (
     expander,
     gnp,
     grid,
+    lopsided,
     make,
     path,
     random_regular,
@@ -30,6 +31,7 @@ __all__ = [
     "expander",
     "gnp",
     "grid",
+    "lopsided",
     "make",
     "path",
     "random_ids",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import random
+from typing import Optional
 
 import networkx as nx
 
@@ -51,14 +52,22 @@ def grid(rows: int, cols: int) -> nx.Graph:
 
 def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
     """Erdős–Rényi G(n, p), forced connected by bridging components."""
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
     if not 0 <= p <= 1:
-        raise ConfigurationError("p must be in [0, 1]")
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
     g = nx.gnp_random_graph(n, p, seed=seed)
     return _bridge_components(g, seed)
 
 
 def random_regular(n: int, d: int, seed: int = 0) -> nx.Graph:
     """Random d-regular graph — the symmetry-breaking stress test."""
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    if d < 1:
+        raise ConfigurationError(
+            f"degree must be >= 1, got {d} (a 0-regular graph has no "
+            f"edges — not a regular-graph instance worth sweeping)")
     if n * d % 2 != 0:
         raise ConfigurationError("n * d must be even for a d-regular graph")
     if d >= n:
@@ -105,8 +114,13 @@ def cluster_of_cliques(num_cliques: int, clique_size: int,
     Hard for clustering: low-diameter dense pockets separated by cut
     edges, the structure that random-shift decompositions must respect.
     """
-    if num_cliques < 1 or clique_size < 1:
-        raise ConfigurationError("positive num_cliques and clique_size required")
+    if num_cliques < 1:
+        raise ConfigurationError("num_cliques must be >= 1")
+    if clique_size < 2:
+        raise ConfigurationError(
+            f"clique_size must be >= 2, got {clique_size} (a 1-clique has "
+            f"no edges — the result would be a bare path/star, not a "
+            f"cluster of cliques)")
     g = nx.Graph()
     anchors = []
     for c in range(num_cliques):
@@ -127,8 +141,15 @@ def cluster_of_cliques(num_cliques: int, clique_size: int,
 
 def dumbbell(side: int, bar: int) -> nx.Graph:
     """Two cliques of size ``side`` joined by a path of ``bar`` nodes."""
-    if side < 1 or bar < 0:
-        raise ConfigurationError("side >= 1 and bar >= 0 required")
+    if side < 2:
+        raise ConfigurationError(
+            f"side must be >= 2, got {side} (a 1-node 'clique' makes the "
+            f"dumbbell a bare path)")
+    if bar < 1:
+        raise ConfigurationError(
+            f"bar must be >= 1, got {bar} (a dumbbell with no bar nodes "
+            f"is just two cliques sharing an edge — use cluster_of_cliques "
+            f"for that shape)")
     g = nx.Graph()
     left = list(range(side))
     right = list(range(side, 2 * side))
@@ -136,8 +157,6 @@ def dumbbell(side: int, bar: int) -> nx.Graph:
         for i, u in enumerate(group):
             for v in group[i + 1:]:
                 g.add_edge(u, v)
-        if side == 1:
-            g.add_nodes_from(group)
     prev = left[0]
     next_id = 2 * side
     for _ in range(bar):
@@ -145,6 +164,31 @@ def dumbbell(side: int, bar: int) -> nx.Graph:
         prev = next_id
         next_id += 1
     g.add_edge(prev, right[0])
+    return g
+
+
+def lopsided(n: int, hubs: Optional[int] = None) -> nx.Graph:
+    """A chain of star hubs: few Θ(n/hubs)-degree hubs, many degree-1 leaves.
+
+    The maximally skewed degree distribution: a handful of hubs carry
+    essentially all edges while every other node is a pendant leaf.
+    Stresses anything that pays per-neighbor (CONGEST fan-out, priority
+    contention in Luby, cluster growing around high-degree centers).
+    """
+    if n < 2:
+        raise ConfigurationError("lopsided needs n >= 2")
+    if hubs is None:
+        hubs = max(1, n // 16)
+    if not 1 <= hubs <= n - 1:
+        raise ConfigurationError(
+            f"hubs must be in [1, n-1], got {hubs} (every hub needs at "
+            f"least the chance of a leaf)")
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for h in range(1, hubs):
+        g.add_edge(h - 1, h)
+    for leaf in range(hubs, n):
+        g.add_edge((leaf - hubs) % hubs, leaf)
     return g
 
 
@@ -191,6 +235,9 @@ FAMILIES = {
     "cliques": lambda n, seed=0: cluster_of_cliques(max(1, n // 8), 8),
     "expander": lambda n, seed=0: expander(n, seed),
     "caterpillar": lambda n, seed=0: caterpillar(max(1, n // 4), 3),
+    "dumbbell": lambda n, seed=0: dumbbell(max(2, n // 3),
+                                           max(1, n - 2 * max(2, n // 3))),
+    "lopsided": lambda n, seed=0: lopsided(max(2, n)),
 }
 
 

@@ -32,7 +32,7 @@ from .distrib import (
     run_worker,
     wait_until_done,
 )
-from .faults import FaultPlan, FlakyControl, FlakyTransport
+from .faults import FaultPlan, FlakyControl, FlakyTransport, RoundFaultPlan
 from .fast_engine import FastEngine, run_program_fast
 from .tasks import bfs_forest_trial, flood_min_trial, luby_mis_trial
 from .runner import (
@@ -75,6 +75,7 @@ __all__ = [
     "ReadThroughStore",
     "RetryPolicy",
     "RetryableError",
+    "RoundFaultPlan",
     "Sends",
     "SweepCoordinator",
     "Transport",

@@ -1084,9 +1084,7 @@ class _ControlHandler(BaseHTTPRequestHandler):
             digests = payload.get("digests")
             if digests is not None and not isinstance(digests, dict):
                 raise ConfigurationError("push digests must be a mapping")
-            dest = write_pushed_store(
-                self.server.staging_root, name, files, digests
-            )
+            dest = write_pushed_store(self.server.staging_root, name, files, digests)
             return {"stored": os.path.basename(dest)}
         raise ConfigurationError(f"unknown endpoint {parsed.path}")
 
@@ -1296,9 +1294,7 @@ def run_worker(
         if reply.unit is None:
             if reply.done:
                 break
-            jitter = deterministic_uniform(
-                stats["idle_polls"], "idle-poll", worker_id
-            )
+            jitter = deterministic_uniform(stats["idle_polls"], "idle-poll", worker_id)
             stats["idle_polls"] += 1
             sleep(poll * (0.5 + jitter))
             continue

@@ -42,7 +42,24 @@ class FastEngine:
 
     Accepts the same parameters as :class:`~repro.sim.engine.SyncEngine`
     plus an optional pre-built ``csr`` (reuse it across many runs on the
-    same topology — e.g. a seed sweep — to skip reconstruction).
+    same topology — e.g. a seed sweep — to skip reconstruction) and an
+    optional ``faults`` plan (duck-typed to
+    :class:`~repro.sim.batch.faults.RoundFaultPlan`; kept untyped here so
+    the hot path never imports the fault-injection module).
+
+    With a fault plan attached:
+
+    * a node that :meth:`~repro.sim.batch.faults.RoundFaultPlan.crashes`
+      in round r computes its round-r outbox, but each queued message
+      independently escapes only per ``delivers_on_crash`` (cut messages
+      are never counted — the node died before paying for them); the
+      node then leaves the active set forever, its output frozen;
+    * a message the plan :meth:`~repro.sim.batch.faults.RoundFaultPlan.
+      drops` (omission loss or edge churn) is still charged to the
+      sender's message/bit accounting but never reaches the inbox.
+
+    ``faults=None`` (the default) leaves every code path and every
+    reported number bit-identical to an engine without the parameter.
     """
 
     def __init__(self, graph: DistributedGraph,
@@ -53,7 +70,8 @@ class FastEngine:
                  bandwidth_bits: Optional[int] = None,
                  max_rounds: int = 100_000,
                  uniform: bool = False,
-                 csr: Optional[CSRGraph] = None):
+                 csr: Optional[CSRGraph] = None,
+                 faults: Optional[Any] = None):
         if model not in (LOCAL, CONGEST):
             raise ConfigurationError(f"unknown model {model!r}")
         csr = ensure_csr(graph, csr)
@@ -72,6 +90,7 @@ class FastEngine:
         else:
             self.bandwidth = congest_limit(self.claimed_n)
         self.max_rounds = max_rounds
+        self.faults = faults if faults is not None and faults.active else None
         nbr_lists = csr.neighbor_lists
         self._programs = [program_factory(v) for v in range(csr.n)]
         self._contexts = [
@@ -154,6 +173,26 @@ class FastEngine:
             sizes[target] = size
         return (resolved, sizes, None)
 
+    def _crash_cut(self, v: int, record: Tuple, round_index: int) -> Optional[Tuple]:
+        """Filter a crashing node's send record down to escaping messages.
+
+        Converts broadcast records to explicit form so delivery charges
+        only the messages that actually left the node.
+        """
+        plan = self.faults
+        head, payload, bits = record
+        if head is _BCAST:
+            resolved = {t: payload for t in self.csr.neighbor_lists[v]
+                        if plan.delivers_on_crash(round_index, v, t)}
+            sizes = {t: bits for t in resolved}
+        else:
+            resolved = {t: item for t, item in head.items()
+                        if plan.delivers_on_crash(round_index, v, t)}
+            sizes = {t: payload[t] for t in resolved}
+        if not resolved:
+            return None
+        return (resolved, sizes, None)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -167,6 +206,7 @@ class FastEngine:
         contexts = self._contexts
         nbr_lists = self.csr.neighbor_lists
         resolve = self._resolve
+        plan = self.faults
         empty: Dict[int, Any] = {}
 
         # Round 0: init.
@@ -196,6 +236,9 @@ class FastEngine:
                 if head is _BCAST:
                     targets = nbr_lists[sender]
                     for target in targets:
+                        if plan is not None and plan.drops(
+                                round_index, sender, target):
+                            continue  # charged below, never delivered
                         inbox = received.get(target)
                         if inbox is None:
                             inbox = received[target] = {}
@@ -208,15 +251,18 @@ class FastEngine:
                 else:
                     sizes = payload  # target -> bits, measured at resolve
                     for target, item in head.items():
-                        inbox = received.get(target)
-                        if inbox is None:
-                            inbox = received[target] = {}
-                        inbox[sender] = item
                         messages += 1
                         size = sizes[target]
                         total_bits += size
                         if size > max_bits:
                             max_bits = size
+                        if plan is not None and plan.drops(
+                                round_index, sender, target):
+                            continue  # charged, never delivered
+                        inbox = received.get(target)
+                        if inbox is None:
+                            inbox = received[target] = {}
+                        inbox[sender] = item
             # Step every live node.
             outgoing = []
             still_active: List[int] = []
@@ -227,6 +273,14 @@ class FastEngine:
                     inbox = {}
                 outbox = programs[v].step(ctx, round_index, inbox) or empty
                 record = resolve(v, outbox)
+                if plan is not None and plan.crashes(round_index, v):
+                    # Mid-round crash: the sends race the failure, the
+                    # node never runs again, its output stays frozen.
+                    if record is not None:
+                        record = self._crash_cut(v, record, round_index)
+                    if record is not None:
+                        outgoing.append((v, record))
+                    continue
                 if record is not None:
                     outgoing.append((v, record))
                 if not ctx.finished:

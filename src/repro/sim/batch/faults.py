@@ -45,6 +45,97 @@ CONTROL_KINDS = ("drop", "delay", "duplicate", "error")
 PUSH_KINDS = CONTROL_KINDS + ("truncate",)
 
 
+class RoundFaultPlan:
+    """Seeded per-round *simulation* faults: crash, loss, edge churn.
+
+    Where :class:`FaultPlan` breaks the sweep control plane, this plan
+    breaks the simulated network itself — the adversarial workloads the
+    scenario layer opens (``crash-midround``, ``lossy-congest``,
+    ``edge-churn``). Every decision is the same BLAKE2b counter-mode
+    discipline: a pure function of (seed, round, endpoints), so a
+    faulty run is exactly as reproducible as a clean one — across
+    engines' worker counts, stores, and reruns.
+
+    Semantics (enforced by :class:`~repro.sim.batch.fast_engine.
+    FastEngine` when handed a plan):
+
+    * ``crash`` — per node per round, the probability the node dies
+      *during* that round's send phase. A crashing node's outgoing
+      messages each independently escape with probability 1/2
+      (:meth:`delivers_on_crash` — the "mid-round" in crash-midround);
+      the node never steps again and its output stays whatever it had.
+    * ``loss`` — per message per delivery round, the probability it is
+      silently dropped in transit (CONGEST omission). The sender still
+      pays for it in the message/bit accounting.
+    * ``churn`` — per *edge* per round, the probability the edge is
+      down for that round; both directions drop together (a dynamic
+      graph, re-sampled every round).
+    * ``start_round`` — faults begin at this round (default 1, the
+      first step round), so an algorithm's setup can be kept clean.
+    """
+
+    def __init__(
+        self,
+        seed: Any,
+        crash: float = 0.0,
+        loss: float = 0.0,
+        churn: float = 0.0,
+        start_round: int = 1,
+    ) -> None:
+        for name, rate in (("crash", crash), ("loss", loss), ("churn", churn)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"fault rate {name} must be in [0, 1], got {rate}"
+                )
+        if start_round < 1:
+            raise ConfigurationError(f"start_round must be >= 1, got {start_round}")
+        self.seed = seed
+        self.crash = crash
+        self.loss = loss
+        self.churn = churn
+        self.start_round = start_round
+
+    @property
+    def active(self) -> bool:
+        """Whether any rate is non-zero (a zero plan is a no-op)."""
+        return bool(self.crash or self.loss or self.churn)
+
+    def crashes(self, round_index: int, node: int) -> bool:
+        """Does ``node`` crash during round ``round_index``'s sends?"""
+        if not self.crash or round_index < self.start_round:
+            return False
+        u = deterministic_uniform(round_index, "sim-crash", self.seed, node)
+        return u < self.crash
+
+    def delivers_on_crash(self, round_index: int, node: int, target: int) -> bool:
+        """Does one send of a node crashing this round still escape?"""
+        u = deterministic_uniform(
+            round_index, "sim-crash-send", self.seed, node, target
+        )
+        return u < 0.5
+
+    def drops(self, round_index: int, sender: int, target: int) -> bool:
+        """Is the (sender -> target) message of this round lost?
+
+        Loss is directional (per message); churn is symmetric (both
+        directions of a down edge drop in the same round).
+        """
+        if round_index < self.start_round:
+            return False
+        if self.loss:
+            u = deterministic_uniform(
+                round_index, "sim-loss", self.seed, sender, target
+            )
+            if u < self.loss:
+                return True
+        if self.churn:
+            a, b = (sender, target) if sender <= target else (target, sender)
+            u = deterministic_uniform(round_index, "sim-churn", self.seed, a, b)
+            if u < self.churn:
+                return True
+        return False
+
+
 class FaultPlan:
     """A seeded, counter-mode schedule of fault decisions.
 
@@ -80,9 +171,7 @@ class FaultPlan:
                 f"fault rates sum to {total}, which exceeds 1: {rates}"
             )
         if delay_seconds < 0:
-            raise ConfigurationError(
-                f"delay_seconds must be >= 0, got {delay_seconds}"
-            )
+            raise ConfigurationError(f"delay_seconds must be >= 0, got {delay_seconds}")
         self.seed = seed
         self.scope = scope
         self.delay_seconds = delay_seconds
@@ -91,9 +180,7 @@ class FaultPlan:
         self._counters: Dict[str, int] = {}
 
     def _decision(self, label: str, counter: int) -> Optional[str]:
-        u = deterministic_uniform(
-            counter, "fault-plan", self.seed, self.scope, label
-        )
+        u = deterministic_uniform(counter, "fault-plan", self.seed, self.scope, label)
         acc = 0.0
         for kind in self._kinds:
             acc += self.rates[kind]
@@ -143,14 +230,10 @@ class FlakyControl:
         self.plan = plan
         self._sleep = sleep
 
-    def _call(
-        self, verb: str, call: Callable[[], Any], duplicable: bool = True
-    ) -> Any:
+    def _call(self, verb: str, call: Callable[[], Any], duplicable: bool = True) -> Any:
         kind = self.plan.decide(verb)
         if kind == "drop":
-            raise CoordinatorUnavailable(
-                f"injected fault: {verb} request dropped"
-            )
+            raise CoordinatorUnavailable(f"injected fault: {verb} request dropped")
         if kind == "error":
             raise RetryableError(f"injected fault: HTTP 503 on {verb}")
         if kind == "delay" or (kind == "duplicate" and not duplicable):
@@ -168,9 +251,7 @@ class FlakyControl:
         )
 
     def renew(self, worker_id: str, unit_id: int) -> bool:
-        return self._call(
-            "renew", lambda: self._control.renew(worker_id, unit_id)
-        )
+        return self._call("renew", lambda: self._control.renew(worker_id, unit_id))
 
     def complete(self, worker_id: str, unit_id: int) -> str:
         return self._call(
@@ -178,14 +259,10 @@ class FlakyControl:
         )
 
     def release(self, worker_id: str, unit_id: int) -> bool:
-        return self._call(
-            "release", lambda: self._control.release(worker_id, unit_id)
-        )
+        return self._call("release", lambda: self._control.release(worker_id, unit_id))
 
     def fail(self, worker_id: str, unit_id: int, error: str = "") -> str:
-        return self._call(
-            "fail", lambda: self._control.fail(worker_id, unit_id, error)
-        )
+        return self._call("fail", lambda: self._control.fail(worker_id, unit_id, error))
 
     def status(self) -> Dict[str, Any]:
         return self._call("status", self._control.status)

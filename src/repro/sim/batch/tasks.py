@@ -11,17 +11,40 @@ for writing new tasks.
 Every task takes an ``engine`` knob (``"fast"``, the default, or
 ``"array"``); the two backends are bit-identical in outputs and
 reports, so sweeps can switch freely for speed.
+
+The scenario layer (:mod:`repro.scenarios`) compiles its adversarial
+knobs onto the same specs: ``ids`` picks the UID-assignment scheme
+(:data:`repro.graphs.ids.SCHEMES`), ``fault_crash``/``fault_loss``/
+``fault_churn``/``fault_seed``/``fault_start`` attach a
+:class:`~repro.sim.batch.faults.RoundFaultPlan` to the engine, and
+``bit_budget`` caps the randomness source. When any of those are in
+play the task catches the model's own failure signals
+(:class:`~repro.errors.ModelViolation`, :class:`~repro.errors.
+BandwidthExceeded`, :class:`~repro.errors.RandomnessExhausted`) and
+reports them as a failed trial instead of crashing the sweep — an
+adversarial run *failing* is a data point, not an error. Specs without
+those knobs take exactly the code paths they always did.
 """
 
 from __future__ import annotations
 
-from ...errors import ConfigurationError
+from typing import Optional
+
+from ...errors import (
+    BandwidthExceeded,
+    ConfigurationError,
+    ModelViolation,
+    RandomnessExhausted,
+)
 from ...graphs import assign, make
 from ...randomness.independent import IndependentSource
 from ..engine import CONGEST
 from .runner import TrialResult, TrialSpec
 
 _ENGINES = ("fast", "array")
+
+#: Model-level failure signals an adversarial trial converts to data.
+_TRIAL_FAILURES = (ModelViolation, BandwidthExceeded, RandomnessExhausted)
 
 
 def _engine_of(spec: TrialSpec) -> str:
@@ -30,6 +53,39 @@ def _engine_of(spec: TrialSpec) -> str:
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {_ENGINES}")
     return engine
+
+
+def _graph_of(spec: TrialSpec):
+    """Build the spec's graph with its ID scheme (default "random")."""
+    return assign(make(spec.family, spec.n, seed=spec.seed),
+                  spec.param("ids", "random"), seed=spec.seed)
+
+
+def _faults_of(spec: TrialSpec):
+    """The spec's RoundFaultPlan, or None when no fault knob is set."""
+    crash = spec.param("fault_crash", 0.0)
+    loss = spec.param("fault_loss", 0.0)
+    churn = spec.param("fault_churn", 0.0)
+    if not (crash or loss or churn):
+        return None
+    # Deferred: the fault module sits next to the coordinator transport
+    # stack, which clean sweeps should never pay to import.
+    from .faults import RoundFaultPlan
+
+    return RoundFaultPlan(
+        seed=spec.param("fault_seed", spec.seed),
+        crash=crash, loss=loss, churn=churn,
+        start_round=spec.param("fault_start", 1))
+
+
+def _adversarial_run(spec: TrialSpec, faults, budget: Optional[int], run):
+    """Run ``run()``; under adversarial knobs, failures become data."""
+    if faults is None and budget is None:
+        return run()
+    try:
+        return run()
+    except _TRIAL_FAILURES as exc:
+        return TrialResult(spec, False, {"failure": type(exc).__name__})
 
 
 def _report_data(result) -> dict:
@@ -46,7 +102,10 @@ def _report_data(result) -> dict:
 def luby_mis_trial(spec: TrialSpec) -> TrialResult:
     """Luby's MIS in CONGEST; ``ok`` is MIS validity.
 
-    Knobs: ``engine`` ("fast"/"array"), ``max_rounds``.
+    Knobs: ``engine`` ("fast"/"array"), ``max_rounds``, ``ids``,
+    ``bit_budget``, ``fault_*`` (see module docstring). Under crashes,
+    dead nodes output ``None`` and ``ok`` reports whether the surviving
+    flags still form a valid MIS — usually not, which is the point.
     """
     # Deferred: repro.core pulls in repro.checkers, which imports back
     # into repro.sim — a module-level import here would close the cycle.
@@ -58,13 +117,19 @@ def luby_mis_trial(spec: TrialSpec) -> TrialResult:
         # than silently running CONGEST on a spec that asks otherwise.
         raise ConfigurationError(
             f"luby_mis_trial runs in CONGEST, got model={model!r}")
-    g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
-               seed=spec.seed)
-    result = luby_mis(g, IndependentSource(seed=spec.seed),
-                      max_rounds=spec.param("max_rounds", 100_000),
-                      engine=_engine_of(spec))
-    return TrialResult(spec, is_valid_mis(g, result.outputs),
-                       _report_data(result))
+    g = _graph_of(spec)
+    faults = _faults_of(spec)
+    budget = spec.param("bit_budget")
+
+    def run() -> TrialResult:
+        result = luby_mis(g, IndependentSource(seed=spec.seed,
+                                               bit_budget=budget),
+                          max_rounds=spec.param("max_rounds", 100_000),
+                          engine=_engine_of(spec), faults=faults)
+        return TrialResult(spec, is_valid_mis(g, result.outputs),
+                           _report_data(result))
+
+    return _adversarial_run(spec, faults, budget, run)
 
 
 def flood_min_trial(spec: TrialSpec) -> TrialResult:
@@ -72,32 +137,43 @@ def flood_min_trial(spec: TrialSpec) -> TrialResult:
     (only guaranteed once ``radius`` reaches the graph diameter).
 
     Knobs: ``radius`` (default 8), ``model`` (default CONGEST),
-    ``engine`` ("fast"/"array").
+    ``engine`` ("fast"/"array"), ``ids``, ``fault_*`` (see module
+    docstring; omission loss makes the min propagate late or never).
     """
     from ..primitives import flood_min
 
-    g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
-               seed=spec.seed)
-    result = flood_min(g, spec.param("radius", 8),
-                       model=spec.param("model", CONGEST),
-                       engine=_engine_of(spec))
-    global_min = min(g.uid(v) for v in g.nodes())
-    ok = all(out == global_min for out in result.outputs.values())
-    return TrialResult(spec, ok, _report_data(result))
+    g = _graph_of(spec)
+    faults = _faults_of(spec)
+
+    def run() -> TrialResult:
+        result = flood_min(g, spec.param("radius", 8),
+                           model=spec.param("model", CONGEST),
+                           engine=_engine_of(spec), faults=faults)
+        global_min = min(g.uid(v) for v in g.nodes())
+        ok = all(out == global_min for out in result.outputs.values())
+        return TrialResult(spec, ok, _report_data(result))
+
+    return _adversarial_run(spec, faults, None, run)
 
 
 def bfs_forest_trial(spec: TrialSpec) -> TrialResult:
     """BFS forest grown from node 0; ``ok`` means every node was claimed
     (guaranteed on connected graphs once the depth bound covers them).
 
-    Knobs: ``depth_bound`` (default n), ``engine`` ("fast"/"array").
+    Knobs: ``depth_bound`` (default n), ``engine`` ("fast"/"array"),
+    ``ids``, ``fault_*`` (see module docstring; churn can sever the
+    frontier mid-growth, leaving unclaimed nodes).
     """
     from ..primitives import build_bfs_forest
 
-    g = assign(make(spec.family, spec.n, seed=spec.seed), "random",
-               seed=spec.seed)
-    result = build_bfs_forest(g, {0},
-                              depth_bound=spec.param("depth_bound"),
-                              engine=_engine_of(spec))
-    ok = all(out is not None for out in result.outputs.values())
-    return TrialResult(spec, ok, _report_data(result))
+    g = _graph_of(spec)
+    faults = _faults_of(spec)
+
+    def run() -> TrialResult:
+        result = build_bfs_forest(g, {0},
+                                  depth_bound=spec.param("depth_bound"),
+                                  engine=_engine_of(spec), faults=faults)
+        ok = all(out is not None for out in result.outputs.values())
+        return TrialResult(spec, ok, _report_data(result))
+
+    return _adversarial_run(spec, faults, None, run)

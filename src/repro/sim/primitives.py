@@ -222,29 +222,39 @@ class ArrayBFSForest(ArrayProgram):
             int_message_bits(self.depth[senders])))
 
 
+def _reject_array_faults(faults) -> None:
+    if faults is not None and faults.active:
+        raise ConfigurationError(
+            "fault injection requires engine='fast'; the array engine "
+            "has no per-message delivery hook")
+
+
 def flood_min(graph: DistributedGraph, radius: int, model: str = CONGEST,
-              engine: str = "fast") -> AlgorithmResult:
+              engine: str = "fast", faults=None) -> AlgorithmResult:
     """Run FloodMin on the selected engine (``"fast"`` or ``"array"``)."""
     if engine == "array":
+        _reject_array_faults(faults)
         return ArrayEngine(graph, ArrayFloodMin(radius), model=model).run()
     if engine == "fast":
         return FastEngine(graph, lambda _v: FloodMin(radius),
-                          model=model).run()
+                          model=model, faults=faults).run()
     raise ConfigurationError(
         f"unknown engine {engine!r}; choose 'fast' or 'array'")
 
 
 def build_bfs_forest(graph: DistributedGraph, roots,
                      depth_bound: Optional[int] = None,
-                     engine: str = "fast") -> AlgorithmResult:
+                     engine: str = "fast", faults=None) -> AlgorithmResult:
     """Grow the BFS forest on the selected engine (CONGEST)."""
     bound = depth_bound if depth_bound is not None else graph.n
     if engine == "array":
+        _reject_array_faults(faults)
         return ArrayEngine(graph, ArrayBFSForest(roots, bound),
                            model=CONGEST, max_rounds=bound + 2).run()
     if engine == "fast":
         return FastEngine(graph, lambda _v: BFSTree(roots, bound),
-                          model=CONGEST, max_rounds=bound + 2).run()
+                          model=CONGEST, max_rounds=bound + 2,
+                          faults=faults).run()
     raise ConfigurationError(
         f"unknown engine {engine!r}; choose 'fast' or 'array'")
 
