@@ -1,0 +1,173 @@
+"""Benchmark: the fused kernel layer at n = 10^6.
+
+Builds million-node circulant graphs (a pure cycle, degree 2, and a
+ring lattice adjacent to i±1, i±2 — degree 4) directly as CSR arrays,
+bypassing networkx entirely (a gnp graph of this size would take
+minutes to *construct*), then measures FloodMin (radius 32) on both,
+plus BFS-forest (depth bound 64) and Luby MIS on the lattice,
+end-to-end on every array-layer engine:
+
+* ``array``  — the base whole-round numpy engine (fresh temporaries);
+* ``kernel`` — the fused zero-allocation workspace kernels;
+* ``native`` — the numba JIT loops, included when numba is importable.
+
+Every measurement re-asserts bit-identical outputs and reports across
+engines, then appends an entry to ``BENCH_NATIVE.json`` at the repo
+root. The acceptance bar pinned by PR 9: >= 2x speedup over the base
+ArrayEngine on at least one workload (checked against a fresh same-
+machine "array" run, so the bar stays hardware-independent), plus an
+n=10^6 Luby end-to-end measurement on the record.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_native.py -s
+
+Set ``BENCH_NATIVE_TINY=1`` (the CI smoke job does) to run a small
+sanity size without the machine-dependent speedup assertion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mis import luby_mis
+from repro.randomness import IndependentSource
+from repro.sim.batch import CSRGraph
+from repro.sim.batch.kernels import native_available
+from repro.sim.primitives import build_bfs_forest, flood_min
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_NATIVE.json"
+
+N_FULL = 1_000_000
+N_TINY = 4_000
+UID_SEED = 23
+SOURCE_SEED = 7
+FLOOD_RADIUS = 32
+BFS_DEPTH_BOUND = 64
+SPEEDUP_BAR = 2.0
+
+
+def _tiny() -> bool:
+    return bool(os.environ.get("BENCH_NATIVE_TINY"))
+
+
+def ring_lattice_csr(n: int, uid_seed: int, reach: int = 2) -> CSRGraph:
+    """Circulant graph (i±1 ... i±reach mod n) as a CSRGraph.
+
+    ``reach=1`` is the pure cycle (degree 2), ``reach=2`` the degree-4
+    ring lattice. Fully vectorized build — no networkx, no Python loop —
+    with a seeded random UID permutation so Luby's symmetry breaking
+    sees nothing special.
+    """
+    span = np.arange(1, reach + 1, dtype=np.int64)
+    steps = np.concatenate([-span[::-1], span])
+    indices = ((np.arange(n, dtype=np.int64)[:, None] + steps) % n).ravel()
+    offsets = np.arange(n + 1, dtype=np.int64) * steps.size
+    uids = np.random.default_rng(uid_seed).permutation(n) + 1
+    return CSRGraph(offsets, indices, tuple(uids.tolist()))
+
+
+def _measure(run, reps: int):
+    """Best-of-reps seconds plus the (identical-across-reps) result."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _compare(make_run, reps: int, engines) -> dict:
+    """Time every engine on one workload; assert bit-identical results."""
+    row = {}
+    results = {}
+    for engine in engines:
+        seconds, result = _measure(make_run(engine), reps)
+        row[engine] = {"seconds": round(seconds, 6),
+                       "rounds": result.report.rounds}
+        results[engine] = result
+    base = results["array"]
+    for engine, result in results.items():
+        assert result.outputs == base.outputs, \
+            f"engine {engine!r} disagrees with 'array' on outputs"
+        assert dataclasses.asdict(result.report) == \
+            dataclasses.asdict(base.report), \
+            f"engine {engine!r} disagrees with 'array' on reports"
+    fused = min(row[e]["seconds"] for e in engines if e != "array")
+    row["speedup"] = round(row["array"]["seconds"] / fused, 3)
+    return row
+
+
+def test_kernel_layer_speedup():
+    n = N_TINY if _tiny() else N_FULL
+    engines = ["array", "kernel"]
+    if native_available():
+        engines.append("native")
+    csr = ring_lattice_csr(n, UID_SEED)
+    cycle = ring_lattice_csr(n, UID_SEED, reach=1)
+
+    reps_flood, reps_bfs, reps_luby = (3, 2, 1) if not _tiny() else (4, 4, 2)
+    workloads = {
+        # Degree 2: per-node costs (bit accounting, temporaries)
+        # dominate the base engine here, which is exactly what the
+        # fused layer removes — the widest-margin workload.
+        f"floodmin-cycle-{n}": _compare(
+            lambda engine: lambda: flood_min(
+                None, FLOOD_RADIUS, engine=engine, csr=cycle),
+            reps_flood, engines),
+        f"floodmin-ring4-{n}": _compare(
+            lambda engine: lambda: flood_min(
+                None, FLOOD_RADIUS, engine=engine, csr=csr),
+            reps_flood, engines),
+        f"bfs-ring4-{n}": _compare(
+            lambda engine: lambda: build_bfs_forest(
+                None, {0}, depth_bound=BFS_DEPTH_BOUND, engine=engine,
+                csr=csr),
+            reps_bfs, engines),
+        f"luby-ring4-{n}": _compare(
+            lambda engine: lambda: luby_mis(
+                None, IndependentSource(seed=SOURCE_SEED), engine=engine,
+                csr=csr),
+            reps_luby, engines),
+    }
+
+    entry = {
+        "label": "fused kernel layer (zero-allocation workspaces"
+                 + (", numba JIT)" if native_available() else ")"),
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "numba": native_available(),
+        "tiny": _tiny(),
+        "workloads": workloads,
+    }
+    existing = []
+    if BENCH_FILE.exists():
+        existing = json.loads(BENCH_FILE.read_text())
+    existing.append(entry)
+    BENCH_FILE.write_text(json.dumps(existing, indent=2) + "\n")
+
+    print()
+    for name, row in workloads.items():
+        times = "  ".join(
+            f"{engine} {row[engine]['seconds'] * 1000:.1f}ms"
+            for engine in engines)
+        print(f"{name}: {times}  ({row['speedup']:.2f}x, "
+              f"{row['array']['rounds']} rounds)")
+
+    if _tiny():
+        return  # CI smoke: parity and measurement paths only, no bars
+
+    best = max(row["speedup"] for row in workloads.values())
+    print(f"best kernel-layer speedup over ArrayEngine: {best:.2f}x "
+          f"(want >= {SPEEDUP_BAR}x on at least one workload)")
+    assert best >= SPEEDUP_BAR, \
+        f"kernel layer only {best:.2f}x the base ArrayEngine"

@@ -1,0 +1,130 @@
+"""Warn when fresh benchmark speedups regress against committed baselines.
+
+Compares the newest entry of each ``BENCH_*.json`` produced by a local
+benchmark run against the newest entry committed at ``HEAD`` (read via
+``git show``), workload by workload. A speedup that dropped by more than
+``--threshold`` (default 25%) prints a loud warning — but the script
+always exits 0 unless invoked with ``--strict``: benchmark numbers are
+machine- and load-dependent, so a regression is a signal for a human,
+not a gate for a bot. The CI benchmarks job runs this after its tiny
+smoke so drift is visible in the job log.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_native.py -s
+    python scripts_bench_guard.py                      # compare vs HEAD
+    python scripts_bench_guard.py --threshold 0.4      # looser bar
+    python scripts_bench_guard.py --files BENCH_NATIVE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent
+
+DEFAULT_FILES = ("BENCH_ARRAY.json", "BENCH_NATIVE.json")
+
+
+def latest_entry(payload):
+    """The newest benchmark entry of a BENCH_*.json list (or None)."""
+    if isinstance(payload, list) and payload:
+        return payload[-1]
+    return None
+
+
+def committed_payload(name: str):
+    """The file's content at HEAD, or None when not committed."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except ValueError:
+        return None
+
+
+def compare_entries(name: str, baseline: dict, fresh: dict, threshold: float):
+    """Yield (workload, old speedup, new speedup) regressions."""
+    base_workloads = baseline.get("workloads", {})
+    fresh_workloads = fresh.get("workloads", {})
+    for workload, base_row in sorted(base_workloads.items()):
+        fresh_row = fresh_workloads.get(workload)
+        if fresh_row is None:
+            continue  # profiles differ (tiny vs full); nothing comparable
+        old = base_row.get("speedup")
+        new = fresh_row.get("speedup")
+        if not old or not new:
+            continue
+        if new < old * (1.0 - threshold):
+            yield workload, old, new
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Warn on benchmark speedup regressions vs HEAD."
+    )
+    parser.add_argument(
+        "--files",
+        nargs="+",
+        default=list(DEFAULT_FILES),
+        help=f"BENCH_*.json files to check (default: {' '.join(DEFAULT_FILES)})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative speedup drop that triggers a warning (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on regression instead of warning (not used by CI)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+
+    regressions = []
+    for name in args.files:
+        fresh_path = REPO_ROOT / name
+        if not fresh_path.exists():
+            print(f"[bench-guard] {name}: no fresh file, skipping")
+            continue
+        fresh = latest_entry(json.loads(fresh_path.read_text()))
+        baseline = latest_entry(committed_payload(name))
+        if fresh is None or baseline is None:
+            print(f"[bench-guard] {name}: no committed baseline, skipping")
+            continue
+        if fresh is baseline or fresh == baseline:
+            print(f"[bench-guard] {name}: fresh entry identical to HEAD, skipping")
+            continue
+        found = list(compare_entries(name, baseline, fresh, args.threshold))
+        if not found:
+            drop = f"{args.threshold:.0%}"
+            print(f"[bench-guard] {name}: no speedup regression beyond {drop}")
+        for workload, old, new in found:
+            regressions.append(name)
+            print(
+                f"[bench-guard] WARNING: {name} {workload}: speedup"
+                f" {old:.2f}x -> {new:.2f}x (dropped {1 - new / old:.0%},"
+                f" threshold {args.threshold:.0%})"
+            )
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@ same command after a kill and only the missing trials execute.
 ``--shard-index/--shard-count`` let independent hosts each compute a
 deterministic slice into their own store; ``--merge`` combines shard
 stores, after which a plain ``--store`` run renders the tables entirely
-from cache.
+from cache. ``--graph-cache DIR`` (or ``$REPRO_GRAPH_CACHE``) persists
+frozen graph topologies across sweeps, so reruns memory-map each graph
+instead of rebuilding it (README "Large graphs").
 
 Usage::
 

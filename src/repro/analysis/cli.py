@@ -54,6 +54,7 @@ inject deterministic faults for drills.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional, Tuple
@@ -93,6 +94,10 @@ def add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--merge", nargs="+", metavar="SRC", default=None,
                         help="merge these store directories into --store "
                              "and exit")
+    parser.add_argument("--graph-cache", metavar="DIR", default=None,
+                        help="content-addressed on-disk cache of frozen "
+                             "graph topologies (CSR), shared across sweeps; "
+                             "equivalent to setting $REPRO_GRAPH_CACHE")
 
 
 def add_scenario_argument(parser: argparse.ArgumentParser) -> None:
@@ -165,7 +170,15 @@ def run_scenario_locally(
 def resolve_store_arguments(
         args: argparse.Namespace,
 ) -> Tuple[Optional[TrialStore], Optional[Tuple[int, int]]]:
-    """Validate the flag combinations; open the store; build the shard pair."""
+    """Validate the flag combinations; open the store; build the shard pair.
+
+    Also exports ``--graph-cache`` as ``$REPRO_GRAPH_CACHE`` so worker
+    processes (spawned with the parent's environment) inherit it.
+    """
+    if getattr(args, "graph_cache", None) is not None:
+        from ..sim.batch.kernels import GRAPH_CACHE_ENV
+
+        os.environ[GRAPH_CACHE_ENV] = args.graph_cache
     if (args.shard_index is None) != (args.shard_count is None):
         raise ConfigurationError(
             "--shard-index and --shard-count must be given together")

@@ -27,13 +27,12 @@ from ..errors import ConfigurationError
 from ..randomness.source import RandomSource
 from ..sim.batch.array import (
     ArrayContext,
-    ArrayEngine,
     ArrayProgram,
     Sends,
-    int_message_bits,
     tuple_message_bits,
 )
 from ..sim.batch.fast_engine import FastEngine
+from ..sim.batch.kernels import ROUND_ENGINES, round_engine
 from ..sim.engine import CONGEST
 from ..sim.graph import DistributedGraph
 from ..sim.messages import message_bits
@@ -163,19 +162,15 @@ class ArrayLubyMIS(ArrayProgram):
                 return None
             values = ctx.rand_uniform_each(drawers, ctx.n ** 2)
             self.prio[drawers] = values
-            alive = ctx.neighbor_sum(status[ctx.indices] == _UNDECIDED)
+            alive = ctx.neighbor_count(status == _UNDECIDED)
             bits = tuple_message_bits(message_bits(_PRIO),
-                                      int_message_bits(values),
+                                      ctx.int_message_bits(values),
                                       ctx.uid_message_bits[drawers])
             return ctx.fanout(drawers, alive[drawers], bits)
         if phase == 2:
             undecided = status == _UNDECIDED
-            und_e = undecided[ctx.indices]
-            rival_val = ctx.neighbor_max(
-                np.where(und_e, self.prio[ctx.indices], -1))
-            top_e = und_e & (self.prio[ctx.indices] == rival_val[ctx.segments])
-            rival_uid = ctx.neighbor_max(
-                np.where(top_e, ctx.uids[ctx.indices], -1))
+            rival_val, rival_uid = ctx.lex_neighbor_max2(
+                self.prio, ctx.uids, undecided)
             # "mine > every rival" on (value, uid) pairs: beat the
             # lexicographic max (UIDs are distinct, so no full ties).
             win = undecided & (
@@ -186,17 +181,16 @@ class ArrayLubyMIS(ArrayProgram):
             if not winners.size:
                 return None
             status[winners] = _WINNER
-            alive = ctx.neighbor_sum(status[ctx.indices] == _UNDECIDED)
+            alive = ctx.neighbor_count(status == _UNDECIDED)
             return ctx.fanout(winners, alive[winners], _ANNOUNCE_BITS)
         # phase == 0: IN announcements land; winners finish, their
         # undecided neighbors become losers (announcing OUT), and an
         # undecided node whose alive set emptied joins the MIS.
         pre_undecided = status == _UNDECIDED
-        winner_e = (status[ctx.indices] == _WINNER).astype(np.int64)
-        beaten = ctx.neighbor_max(winner_e, empty=0) > 0
+        beaten = ctx.neighbor_count(status == _WINNER) > 0
         # Alive sets right now: neighbors undecided at the start of this
         # round (new losers included — their OUT only lands next round).
-        alive = ctx.neighbor_sum(pre_undecided[ctx.indices])
+        alive = ctx.neighbor_count(pre_undecided)
         winners = np.flatnonzero(status == _WINNER)
         if winners.size:
             status[winners] = _DONE_IN
@@ -212,36 +206,43 @@ class ArrayLubyMIS(ArrayProgram):
         return ctx.fanout(new_losers, alive[new_losers], _ANNOUNCE_BITS)
 
 
-def luby_mis(graph: DistributedGraph, source: RandomSource,
+def luby_mis(graph: Optional[DistributedGraph], source: RandomSource,
              max_rounds: int = 100_000,
              engine: str = "fast",
-             faults=None) -> AlgorithmResult:
+             faults=None, csr=None) -> AlgorithmResult:
     """Run Luby's algorithm in the CONGEST model.
 
     ``engine`` selects the execution backend: ``"fast"`` steps the
-    :class:`LubyMIS` node program per node on FastEngine; ``"array"``
-    runs the whole-round :class:`ArrayLubyMIS` on ArrayEngine. Both
-    produce bit-identical outputs and reports.
+    :class:`LubyMIS` node program per node on FastEngine; ``"array"``,
+    ``"kernel"`` and ``"native"`` run the whole-round
+    :class:`ArrayLubyMIS` on the array layer (reference numpy, fused
+    zero-allocation kernels, and numba JIT respectively — see
+    :mod:`repro.sim.batch.kernels`). All backends produce bit-identical
+    outputs and reports.
 
-    ``faults`` (a :class:`~repro.sim.batch.faults.RoundFaultPlan`) is
-    only supported on the fast engine; a crashed node's output stays
+    ``csr`` reuses a frozen :class:`~repro.sim.batch.csr.CSRGraph`
+    across runs (``graph`` may then be ``None`` — the million-node
+    path). ``faults`` (a :class:`~repro.sim.batch.faults.RoundFaultPlan`)
+    is only supported on the fast engine; a crashed node's output stays
     ``None`` and :func:`is_valid_mis` then reports the survivors'
     independence/maximality honestly.
     """
-    if engine == "array":
+    if engine in ROUND_ENGINES:
         if faults is not None and faults.active:
             raise ConfigurationError(
                 "fault injection requires engine='fast'; the array engine "
                 "has no per-message delivery hook")
-        result = ArrayEngine(graph, ArrayLubyMIS(), source=source,
-                             model=CONGEST, max_rounds=max_rounds).run()
+        result = round_engine(engine, graph, ArrayLubyMIS(), source=source,
+                              model=CONGEST, max_rounds=max_rounds,
+                              csr=csr).run()
     elif engine == "fast":
         result = FastEngine(graph, lambda _v: LubyMIS(), source=source,
                             model=CONGEST, max_rounds=max_rounds,
-                            faults=faults).run()
+                            csr=csr, faults=faults).run()
     else:
         raise ConfigurationError(
-            f"unknown engine {engine!r}; choose 'fast' or 'array'")
+            f"unknown engine {engine!r}; choose from "
+            f"{('fast',) + ROUND_ENGINES}")
     # Isolated nodes never hear from anyone and join immediately — make
     # sure outputs are booleans everywhere. Under faults, crashed nodes
     # legitimately die with output None.

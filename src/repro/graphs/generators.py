@@ -241,6 +241,15 @@ FAMILIES = {
 }
 
 
+#: Families whose topology ignores ``seed`` entirely — every seed yields
+#: the same graph. Sweep machinery uses this to deduplicate graph builds
+#: across seeds (see :mod:`repro.sim.batch.tasks`).
+SEED_INVARIANT_FAMILIES = frozenset({
+    "path", "cycle", "grid", "cliques", "caterpillar", "dumbbell",
+    "lopsided",
+})
+
+
 def make(family: str, n: int, seed: int = 0) -> nx.Graph:
     """Instantiate a named family at (approximately) size n."""
     if family not in FAMILIES:

@@ -73,6 +73,12 @@ SCHEMES = {
     "spread": spread_ids,
 }
 
+#: Schemes whose assignment ignores ``seed`` — every seed yields the
+#: same UIDs. Sweep machinery uses this (with
+#: :data:`repro.graphs.generators.SEED_INVARIANT_FAMILIES`) to
+#: deduplicate graph builds across seeds.
+SEED_INVARIANT_SCHEMES = frozenset({"sequential", "adversarial"})
+
 
 def assign(graph: nx.Graph, scheme: str = "random", seed: int = 0) -> DistributedGraph:
     """Wrap a graph with the named ID scheme."""

@@ -51,7 +51,7 @@ from ..graphs.generators import FAMILIES
 from ..graphs.ids import SCHEMES
 
 #: Engines a scenario may pin (None = the task's default, "fast").
-ENGINES = ("fast", "array")
+ENGINES = ("fast", "array", "kernel", "native")
 
 #: Spec params the compiler owns; algorithm params must not shadow them.
 RESERVED_PARAMS = frozenset(

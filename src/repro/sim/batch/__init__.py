@@ -6,12 +6,26 @@ it without per-round allocation churn (:class:`FastEngine`, a drop-in
 :class:`~repro.sim.engine.SyncEngine` replacement), execute
 data-parallel programs as whole-round numpy passes with no per-node
 Python dispatch at all (:class:`ArrayEngine` running
-:class:`ArrayProgram`\\ s, bit-identical to FastEngine), and fan whole
+:class:`ArrayProgram`\\ s, bit-identical to FastEngine), fuse those
+passes into zero-allocation kernels with an optional JIT backend
+(:class:`KernelEngine`, :mod:`~repro.sim.batch.kernels`), and fan whole
 (family, size, seed) grids across processes (:func:`run_trials`).
 """
 
 from .array import ArrayContext, ArrayEngine, ArrayProgram, Sends
 from .csr import CSRGraph, ensure_csr
+from .kernels import (
+    GRAPH_CACHE_ENV,
+    ROUND_ENGINES,
+    GraphCache,
+    KernelContext,
+    KernelEngine,
+    KernelWorkspace,
+    default_graph_cache,
+    native_available,
+    native_unavailable_reason,
+    round_engine,
+)
 from .distrib import (
     AuthenticationError,
     CoordinatorClient,
@@ -68,12 +82,18 @@ __all__ = [
     "FaultPlan",
     "FlakyControl",
     "FlakyTransport",
+    "GRAPH_CACHE_ENV",
+    "GraphCache",
     "HTTPTransport",
+    "KernelContext",
+    "KernelEngine",
+    "KernelWorkspace",
     "LeaseReply",
     "PushIntegrityError",
     "RESULT_FORMAT_VERSION",
     "ReadThroughStore",
     "RetryPolicy",
+    "ROUND_ENGINES",
     "RetryableError",
     "RoundFaultPlan",
     "Sends",
@@ -87,6 +107,7 @@ __all__ = [
     "bfs_forest_trial",
     "canonical_spec",
     "default_chunksize",
+    "default_graph_cache",
     "deterministic_uniform",
     "ensure_csr",
     "flood_min_trial",
@@ -94,8 +115,11 @@ __all__ = [
     "luby_mis_trial",
     "merge_pushed",
     "merge_stores",
+    "native_available",
+    "native_unavailable_reason",
     "pushed_store_dirs",
     "resolve_workers",
+    "round_engine",
     "run_program_fast",
     "run_trials",
     "run_worker",

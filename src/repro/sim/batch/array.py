@@ -89,9 +89,15 @@ def segment_reduce(edge_values: np.ndarray, offsets: np.ndarray,
     and empty segments yield ``identity``. One padded ``reduceat`` call —
     the pad element is the identity, so the final (to-the-end) segment
     reduces correctly and empty segments are masked afterwards.
+
+    Stateless convenience: the contexts below route through a
+    :class:`~repro.sim.batch.kernels.KernelWorkspace`, which reuses one
+    padded buffer across calls instead of allocating here every time.
     """
     values = np.asarray(edge_values)
-    padded = np.append(values, np.asarray(identity, dtype=values.dtype))
+    padded = np.empty(values.size + 1, dtype=values.dtype)
+    padded[:-1] = values
+    padded[-1] = identity
     reduced = ufunc.reduceat(padded, offsets[:-1])
     return np.where(offsets[1:] > offsets[:-1], reduced, identity)
 
@@ -128,17 +134,23 @@ class ArrayContext:
     def __init__(self, csr: CSRGraph, claimed_n: int,
                  source: Optional[RandomSource], model: str, bandwidth: int,
                  uniform: bool):
+        # Deferred: kernels.py imports this module for its context and
+        # engine subclasses; only the workspace class is needed here.
+        from .kernels import KernelWorkspace
+
         self.csr = csr
         self.size = csr.n
         self.offsets = csr.offsets
         self.indices = csr.indices
         self.degrees = csr.degrees
-        self.uids = np.array(csr.uids, dtype=np.int64)
-        #: message_bits of each node's UID, precomputed once.
-        self.uid_message_bits = int_message_bits(self.uids)
-        #: per-edge owner node: indices[e] belongs to segments[e]'s list.
-        self.segments = np.repeat(np.arange(csr.n, dtype=np.int64),
-                                  csr.degrees)
+        self.uids = csr.uid_array
+        #: message_bits of each node's UID, precomputed once (through
+        #: the overridable hook, so the kernel layer's fast bit-length
+        #: covers this O(n) startup pass too).
+        self.uid_message_bits = self.int_message_bits(self.uids)
+        #: reusable reduce/gather buffers bound to this topology.
+        self.workspace = KernelWorkspace(csr.offsets, csr.indices)
+        self._all_nodes: Optional[np.ndarray] = None
         self.model = model
         self.bandwidth = bandwidth
         self._congest = model == CONGEST
@@ -159,6 +171,18 @@ class ArrayContext:
             raise ModelViolation("uniform algorithm may not read n")
         return self._claimed_n
 
+    @property
+    def segments(self) -> np.ndarray:
+        """Per-edge owner node: indices[e] belongs to segments[e]'s list."""
+        return self.workspace.segments
+
+    @property
+    def all_nodes(self) -> np.ndarray:
+        """``int64`` arange over every node index, built once."""
+        if self._all_nodes is None:
+            self._all_nodes = np.arange(self.size, dtype=np.int64)
+        return self._all_nodes
+
     # ------------------------------------------------------------------
     # Neighbor aggregation (CSR segment reductions / column gathers)
     # ------------------------------------------------------------------
@@ -170,16 +194,68 @@ class ArrayContext:
     def neighbor_min(self, edge_values: np.ndarray,
                      empty=INT64_MAX) -> np.ndarray:
         """Per-node min over its incident edge values (``empty`` if none)."""
-        return segment_reduce(edge_values, self.offsets, np.minimum, empty)
+        return self.workspace.segment_reduce(edge_values, np.minimum, empty)
 
     def neighbor_max(self, edge_values: np.ndarray, empty=-1) -> np.ndarray:
         """Per-node max over its incident edge values (``empty`` if none)."""
-        return segment_reduce(edge_values, self.offsets, np.maximum, empty)
+        return self.workspace.segment_reduce(edge_values, np.maximum, empty)
 
     def neighbor_sum(self, edge_values: np.ndarray) -> np.ndarray:
         """Per-node sum over its incident edge values (0 if none)."""
-        return segment_reduce(np.asarray(edge_values, dtype=np.int64),
-                              self.offsets, np.add, 0)
+        return self.workspace.segment_reduce(
+            np.asarray(edge_values, dtype=np.int64), np.add, 0)
+
+    # ------------------------------------------------------------------
+    # Fused aggregation (one context API, three engines)
+    #
+    # The reference implementations below spell each op as the exact
+    # numpy sequence the array programs used inline before the kernel
+    # layer existed, so ArrayEngine results cannot drift; KernelContext
+    # overrides them with in-place workspace passes (or JIT loops), and
+    # the parity sweep pins all backends to FastEngine bit-for-bit.
+    # ------------------------------------------------------------------
+    def neighbor_count(self, node_mask: np.ndarray) -> np.ndarray:
+        """Per-node count of neighbors where ``node_mask`` holds."""
+        return self.neighbor_sum(np.asarray(node_mask)[self.indices])
+
+    def gather_neighbor_min(self, node_values: np.ndarray,
+                            empty=INT64_MAX) -> np.ndarray:
+        """Per-node min of neighbor values (``empty`` if no neighbors)."""
+        return self.neighbor_min(self.gather(node_values), empty)
+
+    def lex_neighbor_max2(self, primary: np.ndarray, secondary: np.ndarray,
+                          node_mask: np.ndarray, empty=-1):
+        """Per-node ``(max primary, max secondary among the primary
+        ties)`` over masked neighbors; ``(empty, empty)`` where none.
+        Masked values must exceed ``empty``."""
+        mask_e = np.asarray(node_mask)[self.indices]
+        primary_e = np.asarray(primary)[self.indices]
+        best = self.neighbor_max(np.where(mask_e, primary_e, empty), empty)
+        top_e = mask_e & (primary_e == best[self.segments])
+        best_tie = self.neighbor_max(
+            np.where(top_e, np.asarray(secondary)[self.indices], empty),
+            empty)
+        return best, best_tie
+
+    def adopt_neighbor_min3(self, primary: np.ndarray, secondary: np.ndarray,
+                            node_mask: np.ndarray, bias: int = 1,
+                            empty=INT64_MAX):
+        """Per-node three-pass lexicographic min over masked neighbors:
+        ``(min primary; min secondary + bias among the primary ties; min
+        neighbor index among the full ties)``, all ``empty`` where no
+        neighbor is masked. Masked primaries must be below ``empty``."""
+        seg = self.segments
+        mask_e = np.asarray(node_mask)[self.indices]
+        primary_e = np.where(mask_e, np.asarray(primary)[self.indices],
+                             empty)
+        best = self.neighbor_min(primary_e, empty)
+        secondary_e = np.where(mask_e, np.asarray(secondary)[self.indices],
+                               0) + bias
+        tie1 = mask_e & (primary_e == best[seg])
+        best_2 = self.neighbor_min(np.where(tie1, secondary_e, empty), empty)
+        tie2 = tie1 & (secondary_e == best_2[seg])
+        best_3 = self.neighbor_min(np.where(tie2, self.indices, empty), empty)
+        return best, best_2, best_3
 
     # ------------------------------------------------------------------
     # Randomness (cursor-based, same streams as NodeContext)
@@ -206,6 +282,17 @@ class ArrayContext:
     # ------------------------------------------------------------------
     # Send accounting (CONGEST checks at send time, like _resolve)
     # ------------------------------------------------------------------
+    def int_message_bits(self, values: np.ndarray) -> np.ndarray:
+        """Per-value message size, as an overridable context hook.
+
+        The module-level :func:`int_message_bits` shift loop is the
+        readable reference; :class:`~repro.sim.batch.kernels.
+        KernelContext` substitutes an exact single-pass bit length
+        (``message_bits`` accounting is on every round's critical path,
+        so at n=10^6 this hook is as hot as the reductions).
+        """
+        return int_message_bits(values)
+
     def broadcast(self, senders: np.ndarray, bits: np.ndarray) -> Sends:
         """Account a broadcast: each sender fans one ``bits[i]``-sized
         payload to its whole neighborhood (degree-0 senders send nothing)."""
@@ -256,8 +343,11 @@ class ArrayContext:
         if isinstance(outputs, np.ndarray):
             outputs = outputs.tolist()
         store = self._outputs
-        for v, out in zip(nodes.tolist(), outputs):
-            store[v] = out
+        if nodes is self._all_nodes and nodes.size == len(store):
+            store[:] = outputs
+        else:
+            for v, out in zip(nodes.tolist(), outputs):
+                store[v] = out
 
     def all_finished(self) -> bool:
         """Whether every node has terminated."""
@@ -290,10 +380,13 @@ class ArrayEngine:
     Accepts the same parameters as FastEngine (graph, randomness source,
     LOCAL/CONGEST model, ``n_override``, ``bandwidth_bits``,
     ``max_rounds``, ``uniform``, optional pre-built ``csr``) but takes
-    one whole-network program instead of a per-node factory.
+    one whole-network program instead of a per-node factory. ``graph``
+    may be ``None`` when ``csr`` is given — the million-node path, where
+    only the frozen arrays exist.
     """
 
-    def __init__(self, graph: DistributedGraph, program: ArrayProgram,
+    def __init__(self, graph: Optional[DistributedGraph],
+                 program: ArrayProgram,
                  source: Optional[RandomSource] = None,
                  model: str = LOCAL,
                  n_override: Optional[int] = None,
@@ -310,7 +403,12 @@ class ArrayEngine:
                 f"lying about n only inflates the network (Thm 4.3)"
             )
         limit = 1 << 62
-        if any(u < 0 or u >= limit for u in csr.uids):
+        try:
+            uid_array = csr.uid_array
+        except ConfigurationError:
+            uid_array = None  # wider than int64: definitely out of range
+        if uid_array is None or (uid_array.size and (
+                int(uid_array.min()) < 0 or int(uid_array.max()) >= limit)):
             raise ConfigurationError(
                 "ArrayEngine requires non-negative machine-word UIDs "
                 "(< 2**62); run FastEngine for wider identifiers")
@@ -325,8 +423,15 @@ class ArrayEngine:
         else:
             self.bandwidth = congest_limit(self.claimed_n)
         self.max_rounds = max_rounds
-        self._ctx = ArrayContext(csr, self.claimed_n, source, model,
-                                 self.bandwidth, uniform)
+        self._ctx = self._make_context(csr, self.claimed_n, source, model,
+                                       self.bandwidth, uniform)
+
+    def _make_context(self, csr: CSRGraph, claimed_n: int,
+                      source: Optional[RandomSource], model: str,
+                      bandwidth: int, uniform: bool) -> ArrayContext:
+        """Context factory hook; KernelEngine substitutes its own."""
+        return ArrayContext(csr, claimed_n, source, model, bandwidth,
+                            uniform)
 
     def run(self) -> AlgorithmResult:
         """Execute until every node finished; return outputs and report."""
@@ -358,5 +463,5 @@ class ArrayEngine:
         report.max_message_bits = max_bits
         if self.source is not None:
             report.randomness_bits = self.source.bits_consumed - before_bits
-        outputs = {v: ctx._outputs[v] for v in range(ctx.size)}
+        outputs = dict(enumerate(ctx._outputs))
         return AlgorithmResult(outputs=outputs, report=report)

@@ -10,17 +10,32 @@ frozensets) that the :class:`~repro.sim.batch.fast_engine.FastEngine`
 reads without any per-round allocation.
 
 The CSR arrays are numpy ``int64``; UIDs stay a Python tuple because the
-model only bounds them by Θ(log n) bits, not by machine-word width.
+model only bounds them by Θ(log n) bits, not by machine-word width. For
+the engines that do need machine-word UIDs, :attr:`CSRGraph.uid_array`
+materializes them as ``int64`` once (and refuses wider values loudly).
+
+:meth:`CSRGraph.save` / :meth:`CSRGraph.load` persist a frozen topology
+as ``.npy`` files; loading with ``mmap=True`` memory-maps the arrays via
+``np.lib.format.open_memmap`` and defers every O(n) derived structure,
+so a 10^6–10^7-node graph opens in O(1) (see the graph cache in
+:mod:`repro.sim.batch.kernels`).
 """
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...errors import ConfigurationError
 from ..graph import DistributedGraph
+
+#: On-disk layout version of :meth:`CSRGraph.save` directories.
+CSR_FORMAT_VERSION = 1
+
+_META_NAME = "csr-meta.json"
 
 
 def bfs_distances(offsets: np.ndarray, indices: np.ndarray, source: int,
@@ -96,7 +111,7 @@ def nx_to_csr(graph) -> Tuple[np.ndarray, np.ndarray, List]:
     return offsets, indices, nodes
 
 
-def ensure_csr(graph: DistributedGraph,
+def ensure_csr(graph: Optional[DistributedGraph],
                csr: Optional["CSRGraph"]) -> "CSRGraph":
     """Build a :class:`CSRGraph` for ``graph``, or validate a cached one.
 
@@ -105,7 +120,17 @@ def ensure_csr(graph: DistributedGraph,
     compare — that would cost as much as rebuilding) verify node count,
     UID assignment, and edge count, which catches the realistic misuse of
     caching one CSRGraph across a sweep that rebuilds the graph per seed.
+
+    ``graph`` may be ``None`` when a pre-built ``csr`` is supplied — the
+    large-graph path, where materializing a DistributedGraph (networkx
+    adjacency plus per-node Python lists) would dwarf the run itself.
     """
+    if graph is None:
+        if csr is None:
+            raise ConfigurationError(
+                "an engine needs a DistributedGraph or a pre-built "
+                "CSRGraph; both were None")
+        return csr
     if csr is None:
         return CSRGraph.from_graph(graph)
     if csr.n != graph.n:
@@ -135,13 +160,15 @@ class CSRGraph:
     indices:
         ``int64[2 m]`` concatenated sorted neighbor lists.
     degrees:
-        ``int64[n]`` (``offsets`` differences, materialized).
+        ``int64[n]`` (``offsets`` differences, materialized lazily).
     uids:
-        Tuple of the n unique identifiers, by node index.
+        Tuple of the n unique identifiers, by node index (lazy when the
+        instance was loaded from disk).
     """
 
-    __slots__ = ("n", "m", "offsets", "indices", "degrees", "uids",
-                 "_neighbor_lists", "_neighbor_sets", "_uid_to_index")
+    __slots__ = ("n", "m", "offsets", "indices", "_degrees", "_uids",
+                 "_uid_array", "_neighbor_lists", "_neighbor_sets",
+                 "_uid_to_index")
 
     def __init__(self, offsets: np.ndarray, indices: np.ndarray,
                  uids: Tuple[int, ...]):
@@ -151,7 +178,8 @@ class CSRGraph:
             raise ConfigurationError("offsets must be a 1-d array of n+1 ints")
         if offsets[0] != 0 or offsets[-1] != indices.size:
             raise ConfigurationError("offsets must span exactly the indices")
-        if np.any(np.diff(offsets) < 0):
+        degrees = np.diff(offsets)
+        if np.any(degrees < 0):
             raise ConfigurationError("offsets must be non-decreasing")
         self.n = int(offsets.size - 1)
         if len(uids) != self.n or len(set(uids)) != self.n:
@@ -163,8 +191,9 @@ class CSRGraph:
         self.m = int(indices.size // 2)
         self.offsets = offsets
         self.indices = indices
-        self.degrees = np.diff(offsets)
-        self.uids = tuple(uids)
+        self._degrees = degrees
+        self._uids = tuple(uids)
+        self._uid_array: Optional[np.ndarray] = None
         self._neighbor_lists: List[List[int]] = None  # built lazily
         self._neighbor_sets: List[frozenset] = None
         self._uid_to_index: Dict[int, int] = None
@@ -184,6 +213,132 @@ class CSRGraph:
             indices[offsets[v]:offsets[v + 1]] = graph.neighbors(v)
         return cls(offsets, indices,
                    tuple(graph.uid(v) for v in range(graph.n)))
+
+    @classmethod
+    def _trusted(cls, offsets: np.ndarray, indices: np.ndarray,
+                 uid_array: np.ndarray) -> "CSRGraph":
+        """Adopt already-validated arrays without the O(n + m) checks.
+
+        Only for :meth:`load`, whose files were written by :meth:`save`
+        from a validated instance — this is what makes a memory-mapped
+        open O(1) instead of faulting in every page up front.
+        """
+        self = object.__new__(cls)
+        self.n = int(offsets.size - 1)
+        self.m = int(indices.size // 2)
+        self.offsets = offsets
+        self.indices = indices
+        self._degrees = None
+        self._uids = None
+        self._uid_array = uid_array
+        self._neighbor_lists = None
+        self._neighbor_sets = None
+        self._uid_to_index = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Persistence (.npy files; mmap-able via np.lib.format.open_memmap)
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Write the topology into ``directory`` as three ``.npy`` files.
+
+        UIDs are stored as ``int64`` (via :attr:`uid_array`, so wider
+        identifiers are refused loudly rather than truncated). The files
+        are written through ``open_memmap``, so graphs larger than
+        memory stream straight to disk.
+        """
+        path = os.fspath(directory)
+        uid_array = self.uid_array
+        os.makedirs(path, exist_ok=True)
+        for name, array in (("offsets", self.offsets),
+                            ("indices", self.indices),
+                            ("uids", uid_array)):
+            out = np.lib.format.open_memmap(
+                os.path.join(path, name + ".npy"), mode="w+",
+                dtype=np.int64, shape=array.shape)
+            out[:] = array
+            out.flush()
+            del out
+        meta = {"format": CSR_FORMAT_VERSION, "n": self.n, "m": self.m}
+        with open(os.path.join(path, _META_NAME), "w",
+                  encoding="utf-8") as fh:
+            json.dump(meta, fh, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, directory, mmap: bool = True) -> "CSRGraph":
+        """Reopen a :meth:`save` directory.
+
+        With ``mmap=True`` (the default) the arrays are memory-mapped
+        read-only and pages fault in on first touch — opening is O(1)
+        regardless of graph size. ``mmap=False`` reads them into memory.
+        Either way the instance runs bit-identically to the one that was
+        saved.
+        """
+        path = os.fspath(directory)
+        meta_path = os.path.join(path, _META_NAME)
+        try:
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"{path} is not a CSRGraph.save directory: {exc}")
+        if meta.get("format") != CSR_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path} has CSR format {meta.get('format')!r}; this "
+                f"build reads format {CSR_FORMAT_VERSION}")
+
+        def read(name: str) -> np.ndarray:
+            file_path = os.path.join(path, name + ".npy")
+            if mmap:
+                return np.lib.format.open_memmap(file_path, mode="r")
+            return np.load(file_path)
+
+        offsets = read("offsets")
+        indices = read("indices")
+        uid_array = read("uids")
+        if (offsets.size - 1 != meta["n"] or indices.size != 2 * meta["m"]
+                or uid_array.size != meta["n"]):
+            raise ConfigurationError(
+                f"{path} is corrupt: array sizes disagree with "
+                f"{_META_NAME}")
+        return cls._trusted(offsets, indices, uid_array)
+
+    # ------------------------------------------------------------------
+    # Derived structures (lazy, so mmap-loaded instances stay O(1))
+    # ------------------------------------------------------------------
+    @property
+    def degrees(self) -> np.ndarray:
+        """``int64[n]`` per-node degrees (``offsets`` differences)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.offsets)
+        return self._degrees
+
+    @property
+    def uids(self) -> Tuple[int, ...]:
+        """The n unique identifiers as a tuple of Python ints."""
+        if self._uids is None:
+            self._uids = tuple(self._uid_array.tolist())
+        return self._uids
+
+    @property
+    def uid_array(self) -> np.ndarray:
+        """UIDs as an ``int64`` array (the array engines' view).
+
+        Raises :class:`~repro.errors.ConfigurationError` when any UID
+        exceeds the machine word — the model allows arbitrary-width
+        identifiers, numpy does not, and silent truncation would break
+        every UID tiebreak.
+        """
+        if self._uid_array is None:
+            try:
+                uid_array = np.asarray(self._uids, dtype=np.int64)
+            except (OverflowError, TypeError, ValueError):
+                raise ConfigurationError(
+                    "UIDs do not fit in int64; the array engines and "
+                    "CSRGraph.save require machine-word identifiers")
+            self._uid_array = uid_array
+        return self._uid_array
 
     # ------------------------------------------------------------------
     # Topology access (mirrors DistributedGraph's query surface)
@@ -217,7 +372,9 @@ class CSRGraph:
 
     def uid(self, v: int) -> int:
         """Unique identifier of node ``v``."""
-        return self.uids[v]
+        if self._uids is None:  # loaded instance: skip the O(n) tuple
+            return int(self._uid_array[v])
+        return self._uids[v]
 
     def index_of_uid(self, uid: int) -> int:
         """Inverse UID lookup."""

@@ -1,0 +1,816 @@
+"""Fused kernel layer: zero-allocation rounds, a graph cache, and JIT.
+
+The :class:`~repro.sim.batch.array.ArrayEngine` made rounds whole-array
+operations, but its hot path still allocates per call — a padded copy
+per segment reduction, a fresh gather per aggregation, `np.where`
+temporaries for every masked reduce — which at n = 10^6 (edge arrays of
+tens of MB) means every round churns through allocator and memory
+bandwidth it does not need. This module is the stop-copying layer:
+
+* :class:`KernelWorkspace` — preallocates the padded reduce buffers,
+  edge gather/mask buffers, and a ring of per-node output arrays once
+  per topology, and rewrites segment reduction, lexicographic segment
+  min/max, and column gather as in-place passes over those buffers;
+* :class:`KernelContext` / :class:`KernelEngine` — an
+  :class:`~repro.sim.batch.array.ArrayContext` whose fused aggregation
+  ops run on the workspace (``engine="kernel"``), bit-identical to the
+  ArrayEngine across outputs and RunReports;
+* an optional **Numba JIT backend** (``engine="native"``) that compiles
+  the same kernels as serial loops — imported lazily, verified by a
+  warm-up call, and falling back loudly-but-gracefully to the fused
+  numpy kernels when numba is absent or broken;
+* :class:`GraphCache` — a content-addressed on-disk cache of
+  :meth:`~repro.sim.batch.csr.CSRGraph.save` directories (BLAKE2b-128
+  keys over canonical JSON, the same discipline as the TrialStore) so a
+  sweep builds each distinct graph once and later runs memory-map it in
+  O(1). Point ``$REPRO_GRAPH_CACHE`` (or either CLI's ``--graph-cache``)
+  at a directory to enable it for the batch tasks.
+
+The fused ops document their contracts loosely on purpose: array
+programs are trusted infrastructure (see ``array.py``), and the parity
+suite in ``tests/test_array_engine.py`` is the real gate — every engine
+in :data:`ROUND_ENGINES` must reproduce FastEngine bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import warnings
+from hashlib import blake2b
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from .array import INT64_MAX, ArrayContext, ArrayEngine, ArrayProgram, Sends
+from .csr import CSRGraph
+
+#: ``engine=`` values executed by the array layer (node programs keep
+#: ``"fast"``). "array" is the reference vectorized path, "kernel" the
+#: fused zero-allocation path, "native" the numba JIT (when available).
+ROUND_ENGINES = ("array", "kernel", "native")
+
+#: Environment variable naming the on-disk graph cache directory.
+GRAPH_CACHE_ENV = "REPRO_GRAPH_CACHE"
+
+#: Size of the per-node output-buffer reuse ring. Any fused result older
+#: than this many fused calls may be overwritten; the bundled programs
+#: keep at most three alive at once.
+_NODE_SLOTS = 8
+
+
+class KernelWorkspace:
+    """Preallocated scratch space for fused round kernels on one CSR.
+
+    Bound to an (offsets, indices) topology; every buffer is created on
+    first use and reused for the workspace's lifetime, so after one
+    warm-up round a kernel round performs no numpy allocations at all —
+    each op is gather-into-buffer, mask-in-place, ``reduceat`` into a
+    ring slot.
+
+    Results returned from the fused ops live in the reuse ring (see
+    :data:`_NODE_SLOTS`): copy anything that must survive further calls.
+    """
+
+    def __init__(self, offsets: np.ndarray, indices: np.ndarray):
+        # np.asarray strips memmap subclasses to plain ndarray views,
+        # which the numba kernels also require.
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.n = int(self.offsets.size - 1)
+        self.e = int(self.indices.size)
+        self._starts = self.offsets[:-1]
+        self._segments: Optional[np.ndarray] = None
+        self._empty_segments: Optional[np.ndarray] = None
+        self._has_empty = False
+        self._pads: Dict[str, np.ndarray] = {}
+        self._edge_bools: Dict[str, np.ndarray] = {}
+        self._node_ring: List[np.ndarray] = []
+        self._ring_next = 0
+
+    # -- lazily-built invariants --------------------------------------
+    @property
+    def segments(self) -> np.ndarray:
+        """Per-edge owner node: ``indices[e]`` is in ``segments[e]``'s list."""
+        if self._segments is None:
+            self._segments = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.offsets)
+            )
+        return self._segments
+
+    @property
+    def empty_segments(self) -> np.ndarray:
+        """Bool mask of degree-0 nodes (whose reductions yield identity)."""
+        if self._empty_segments is None:
+            self._empty_segments = self.offsets[1:] == self._starts
+            self._has_empty = bool(self._empty_segments.any())
+        return self._empty_segments
+
+    # -- buffer pools --------------------------------------------------
+    def _pad(self, name: str) -> np.ndarray:
+        """A named ``int64[e + 1]`` padded reduce/gather buffer."""
+        buf = self._pads.get(name)
+        if buf is None:
+            buf = self._pads[name] = np.empty(self.e + 1, dtype=np.int64)
+        return buf
+
+    def _ebool(self, name: str) -> np.ndarray:
+        """A named ``bool[e]`` edge mask buffer."""
+        buf = self._edge_bools.get(name)
+        if buf is None:
+            buf = self._edge_bools[name] = np.empty(self.e, dtype=bool)
+        return buf
+
+    def node_slot(self) -> np.ndarray:
+        """The next ``int64[n]`` output buffer from the reuse ring."""
+        ring = self._node_ring
+        if len(ring) < _NODE_SLOTS:
+            ring.append(np.empty(self.n, dtype=np.int64))
+            return ring[-1]
+        out = ring[self._ring_next]
+        self._ring_next = (self._ring_next + 1) % _NODE_SLOTS
+        return out
+
+    def _fix_empty(self, out: np.ndarray, identity) -> None:
+        """reduceat writes ``a[offsets[v]]`` for empty segments; fix them."""
+        mask = self.empty_segments
+        if self._has_empty:
+            np.copyto(out, identity, where=mask)
+
+    # -- fused kernels -------------------------------------------------
+    def segment_reduce(
+        self,
+        edge_values: np.ndarray,
+        ufunc: np.ufunc,
+        identity,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """:func:`~repro.sim.batch.array.segment_reduce`, bufferized.
+
+        Bit-identical results, minus the per-call ``np.append`` padded
+        copy. Non-``int64`` inputs (rare; nothing on the engine hot path)
+        take a matching temporary instead of the shared pad.
+        """
+        e = self.e
+        values = np.asarray(edge_values)
+        if values.dtype == np.int64:
+            pad = self._pad("reduce")
+        else:
+            pad = np.empty(e + 1, dtype=values.dtype)
+        pad[:e] = values
+        pad[e] = identity
+        if out is None or out.dtype != pad.dtype:
+            out = np.empty(self.n, dtype=pad.dtype)
+        ufunc.reduceat(pad, self._starts, out=out)
+        self._fix_empty(out, identity)
+        return out
+
+    def count_true(
+        self, node_mask: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-node count of neighbors where ``node_mask`` holds."""
+        # mode="clip" on every take: CSR indices are validated in-range
+        # at construction, so clipping never binds — it only skips the
+        # per-element bounds check of the default mode="raise" path,
+        # which measurably dominates a gather at E in the millions.
+        e = self.e
+        mask = self._ebool("mask")
+        np.take(node_mask, self.indices, out=mask, mode="clip")
+        pad = self._pad("a")
+        np.copyto(pad[:e], mask)
+        pad[e] = 0
+        if out is None:
+            out = self.node_slot()
+        np.add.reduceat(pad, self._starts, out=out)
+        self._fix_empty(out, 0)
+        return out
+
+    def gather_min(
+        self,
+        node_values: np.ndarray,
+        empty=INT64_MAX,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-node min of neighbor values: fused gather + segment-min."""
+        e = self.e
+        pad = self._pad("a")
+        np.take(node_values, self.indices, out=pad[:e], mode="clip")
+        pad[e] = empty
+        if out is None:
+            out = self.node_slot()
+        np.minimum.reduceat(pad, self._starts, out=out)
+        self._fix_empty(out, empty)
+        return out
+
+    def lex_max2(
+        self,
+        primary: np.ndarray,
+        secondary: np.ndarray,
+        node_mask: np.ndarray,
+        empty=-1,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Lexicographic segment-max over masked neighbors.
+
+        Returns ``(max primary, max secondary among the primary ties)``
+        per node, ``(empty, empty)`` where no neighbor is masked. Callers
+        guarantee the masked values exceed ``empty`` (priorities and
+        UIDs are non-negative, ``empty`` is -1).
+        """
+        e = self.e
+        starts = self._starts
+        mask = self._ebool("mask")
+        scratch = self._ebool("scratch")
+        np.take(node_mask, self.indices, out=mask, mode="clip")
+        vals = self._pad("a")
+        np.take(primary, self.indices, out=vals[:e], mode="clip")
+        np.logical_not(mask, out=scratch)
+        np.copyto(vals[:e], empty, where=scratch)
+        vals[e] = empty
+        best = self.node_slot()
+        np.maximum.reduceat(vals, starts, out=best)
+        self._fix_empty(best, empty)
+        # The primary ties: masked lanes whose value hit their segment max.
+        tied = self._pad("b")
+        np.take(best, self.segments, out=tied[:e], mode="clip")
+        np.equal(vals[:e], tied[:e], out=scratch)
+        np.logical_and(scratch, mask, out=scratch)
+        np.take(secondary, self.indices, out=tied[:e], mode="clip")
+        np.logical_not(scratch, out=mask)
+        np.copyto(tied[:e], empty, where=mask)
+        tied[e] = empty
+        best_tie = self.node_slot()
+        np.maximum.reduceat(tied, starts, out=best_tie)
+        self._fix_empty(best_tie, empty)
+        return best, best_tie
+
+    def adopt_min3(
+        self,
+        primary: np.ndarray,
+        secondary: np.ndarray,
+        node_mask: np.ndarray,
+        bias: int = 1,
+        empty=INT64_MAX,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Three-pass lexicographic segment-min over masked neighbors.
+
+        Per node: ``(min primary; min secondary + bias among the primary
+        ties; min neighbor index among the full ties)`` — the BFS-forest
+        adoption rule — with all three ``empty`` where no neighbor is
+        masked. Masked primaries must be below ``empty``.
+        """
+        e = self.e
+        starts = self._starts
+        mask = self._ebool("mask")
+        tie = self._ebool("scratch")
+        pad_a = self._pad("a")
+        pad_b = self._pad("b")
+        pad_c = self._pad("c")
+        np.take(node_mask, self.indices, out=mask, mode="clip")
+        np.take(primary, self.indices, out=pad_a[:e], mode="clip")
+        np.logical_not(mask, out=tie)
+        np.copyto(pad_a[:e], empty, where=tie)
+        pad_a[e] = empty
+        best = self.node_slot()
+        np.minimum.reduceat(pad_a, starts, out=best)
+        self._fix_empty(best, empty)
+        # tie := masked lanes tied on primary.
+        np.take(best, self.segments, out=pad_c[:e], mode="clip")
+        np.equal(pad_a[:e], pad_c[:e], out=tie)
+        np.logical_and(tie, mask, out=tie)
+        np.take(secondary, self.indices, out=pad_b[:e], mode="clip")
+        pad_b[:e] += bias
+        np.logical_not(tie, out=mask)
+        np.copyto(pad_b[:e], empty, where=mask)
+        pad_b[e] = empty
+        best_2 = self.node_slot()
+        np.minimum.reduceat(pad_b, starts, out=best_2)
+        self._fix_empty(best_2, empty)
+        # mask := lanes tied on (primary, secondary).
+        np.take(best_2, self.segments, out=pad_c[:e], mode="clip")
+        np.equal(pad_b[:e], pad_c[:e], out=mask)
+        np.logical_and(mask, tie, out=mask)
+        pad_c[:e] = self.indices
+        np.logical_not(mask, out=tie)
+        np.copyto(pad_c[:e], empty, where=tie)
+        pad_c[e] = empty
+        best_3 = self.node_slot()
+        np.minimum.reduceat(pad_c, starts, out=best_3)
+        self._fix_empty(best_3, empty)
+        return best, best_2, best_3
+
+
+# ----------------------------------------------------------------------
+# Optional Numba JIT backend
+# ----------------------------------------------------------------------
+_native_state: Dict[str, Any] = {"checked": False, "kernels": None, "error": None}
+
+
+def native_available() -> bool:
+    """Whether the numba JIT backend imported and compiled successfully."""
+    return _native_kernels() is not None
+
+
+def native_unavailable_reason() -> Optional[str]:
+    """Why ``engine="native"`` would fall back (None when it would not)."""
+    _native_kernels()
+    return _native_state["error"]
+
+
+def _native_kernels() -> Optional[Dict[str, Callable]]:
+    state = _native_state
+    if not state["checked"]:
+        state["checked"] = True
+        try:
+            state["kernels"] = _compile_native()
+        except Exception as exc:  # numba absent, too old, or miscompiling
+            state["error"] = f"{type(exc).__name__}: {exc}"
+    return state["kernels"]
+
+
+def _compile_native() -> Dict[str, Callable]:
+    """Import numba lazily and compile the serial-loop kernels.
+
+    The loops fold neighbors in CSR order with the exact comparison
+    chains of the fused numpy passes (integer min/max/count, so the fold
+    order cannot change results). A warm-up call on a 2-node graph
+    forces compilation here, so failures surface as a graceful fallback
+    instead of mid-run.
+    """
+    import numba
+
+    njit = numba.njit(cache=False, nogil=True)
+
+    @njit
+    def count_true(node_mask, indices, offsets, out):
+        for v in range(out.size):
+            total = 0
+            for e in range(offsets[v], offsets[v + 1]):
+                if node_mask[indices[e]]:
+                    total += 1
+            out[v] = total
+
+    @njit
+    def gather_min(node_values, indices, offsets, empty, out):
+        for v in range(out.size):
+            best = empty
+            for e in range(offsets[v], offsets[v + 1]):
+                x = node_values[indices[e]]
+                if x < best:
+                    best = x
+            out[v] = best
+
+    @njit
+    def lex_max2(
+        primary, secondary, node_mask, indices, offsets, empty, out_p, out_s
+    ):
+        for v in range(out_p.size):
+            bp = empty
+            bs = empty
+            for e in range(offsets[v], offsets[v + 1]):
+                u = indices[e]
+                if not node_mask[u]:
+                    continue
+                p = primary[u]
+                s = secondary[u]
+                if p > bp or (p == bp and s > bs):
+                    bp = p
+                    bs = s
+            out_p[v] = bp
+            out_s[v] = bs
+
+    @njit
+    def adopt_min3(
+        primary,
+        secondary,
+        node_mask,
+        indices,
+        offsets,
+        bias,
+        empty,
+        out_p,
+        out_s,
+        out_t,
+    ):
+        for v in range(out_p.size):
+            bp = empty
+            bs = empty
+            bt = empty
+            for e in range(offsets[v], offsets[v + 1]):
+                u = indices[e]
+                if not node_mask[u]:
+                    continue
+                p = primary[u]
+                s = secondary[u] + bias
+                if p < bp or (p == bp and (s < bs or (s == bs and u < bt))):
+                    bp = p
+                    bs = s
+                    bt = u
+            out_p[v] = bp
+            out_s[v] = bs
+            out_t[v] = bt
+
+    kernels = {
+        "count_true": count_true,
+        "gather_min": gather_min,
+        "lex_max2": lex_max2,
+        "adopt_min3": adopt_min3,
+    }
+
+    # Warm-up: a path on two nodes exercises every kernel signature.
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    indices = np.array([1, 0], dtype=np.int64)
+    values = np.array([3, 5], dtype=np.int64)
+    mask = np.array([True, True])
+    out = np.empty(2, dtype=np.int64)
+    out_2 = np.empty(2, dtype=np.int64)
+    out_3 = np.empty(2, dtype=np.int64)
+    count_true(mask, indices, offsets, out)
+    gather_min(values, indices, offsets, INT64_MAX, out)
+    lex_max2(values, values, mask, indices, offsets, -1, out, out_2)
+    adopt_min3(
+        values, values, mask, indices, offsets, 1, INT64_MAX, out, out_2, out_3
+    )
+    return kernels
+
+
+def _warn_native_fallback() -> None:
+    reason = _native_state["error"] or "numba is not installed"
+    msg = (
+        f"engine='native': numba JIT unavailable ({reason}); falling back"
+        f" to the fused numpy kernels (bit-identical, slower)"
+    )
+    warnings.warn(msg, RuntimeWarning, stacklevel=4)
+
+
+# ----------------------------------------------------------------------
+# Kernel-layer context and engine
+# ----------------------------------------------------------------------
+def fast_int_message_bits(values: np.ndarray) -> np.ndarray:
+    """Exact single-pass replacement for the array layer's bit counter.
+
+    The reference :func:`~repro.sim.batch.array.int_message_bits` shifts
+    until zero — a Python-level loop over up to 63 whole-array passes
+    that dominates a round's accounting at n = 10^6. This computes the
+    same ``max(bit_length, 1) + 1`` in a handful of vector ops: split
+    each value into 32-bit halves (both exactly representable in
+    float64), and read each half's bit length off ``np.frexp``'s
+    exponent (for x > 0, ``frexp(x) = (m, e)`` with ``x = m * 2**e`` and
+    ``0.5 <= m < 1``, so ``e == x.bit_length()``; frexp maps 0 to
+    exponent 0, matching ``(0).bit_length()``). Exact for every
+    non-negative int64 — the parity suite holds this to the reference
+    bit-for-bit.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if not v.size:
+        return np.maximum(v, 1) + 1
+    if int(v.min()) < 0:
+        raise ConfigurationError("int_message_bits requires non-negative values")
+    if int(v.max()) < 1 << 53:
+        # Every real payload (UIDs <= n, depths, priorities <= n^2) is
+        # far below 2^53, so one float64 pass is exact and suffices.
+        exp = np.frexp(v.astype(np.float64))[1]
+        return np.maximum(exp.astype(np.int64), 1) + 1
+    hi = v >> 32
+    lo = v & np.int64(0xFFFFFFFF)
+    ex_lo = np.frexp(lo.astype(np.float64))[1]
+    ex_hi = np.frexp(hi.astype(np.float64))[1]
+    # frexp exponents are int32; lift before the +32 offset and return.
+    bit_length = np.where(hi > 0, ex_hi + 32, ex_lo).astype(np.int64)
+    return np.maximum(bit_length, 1) + 1
+
+
+class KernelContext(ArrayContext):
+    """An :class:`ArrayContext` whose aggregation runs on fused kernels.
+
+    Overrides every aggregation helper to write into the workspace's
+    reuse ring instead of fresh arrays (see
+    :meth:`KernelWorkspace.node_slot` for the aliasing contract). With
+    ``native=True`` the node-level fused ops dispatch to the compiled
+    numba loops.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        claimed_n: int,
+        source,
+        model: str,
+        bandwidth: int,
+        uniform: bool,
+        native: bool = False,
+    ):
+        super().__init__(csr, claimed_n, source, model, bandwidth, uniform)
+        self._native = _native_kernels() if native else None
+        self._all_live: Optional[bool] = None
+        self._degree_total = 0
+        self._bits_f64: Optional[np.ndarray] = None
+        self._bits_exp: Optional[np.ndarray] = None
+        # Results handed out before this point (uid_message_bits, built
+        # by the base __init__) must stay persistent, so the ring-slot
+        # bits path below only switches on once construction is done.
+        self._bits_ring_ok = True
+
+    def neighbor_min(self, edge_values, empty=INT64_MAX):
+        ws = self.workspace
+        return ws.segment_reduce(edge_values, np.minimum, empty, out=ws.node_slot())
+
+    def neighbor_max(self, edge_values, empty=-1):
+        ws = self.workspace
+        return ws.segment_reduce(edge_values, np.maximum, empty, out=ws.node_slot())
+
+    def neighbor_sum(self, edge_values):
+        ws = self.workspace
+        return ws.segment_reduce(
+            np.asarray(edge_values, dtype=np.int64), np.add, 0, out=ws.node_slot()
+        )
+
+    def neighbor_count(self, node_mask):
+        ws = self.workspace
+        node_mask = np.asarray(node_mask)
+        if self._native is not None:
+            out = ws.node_slot()
+            self._native["count_true"](node_mask, ws.indices, ws.offsets, out)
+            return out
+        return ws.count_true(node_mask)
+
+    def gather_neighbor_min(self, node_values, empty=INT64_MAX):
+        ws = self.workspace
+        node_values = np.asarray(node_values)
+        if self._native is not None:
+            out = ws.node_slot()
+            self._native["gather_min"](
+                node_values, ws.indices, ws.offsets, np.int64(empty), out
+            )
+            return out
+        return ws.gather_min(node_values, empty)
+
+    def lex_neighbor_max2(self, primary, secondary, node_mask, empty=-1):
+        ws = self.workspace
+        primary = np.asarray(primary)
+        secondary = np.asarray(secondary)
+        node_mask = np.asarray(node_mask)
+        if self._native is not None:
+            out_p = ws.node_slot()
+            out_s = ws.node_slot()
+            self._native["lex_max2"](
+                primary,
+                secondary,
+                node_mask,
+                ws.indices,
+                ws.offsets,
+                np.int64(empty),
+                out_p,
+                out_s,
+            )
+            return out_p, out_s
+        return ws.lex_max2(primary, secondary, node_mask, empty)
+
+    def adopt_neighbor_min3(
+        self, primary, secondary, node_mask, bias=1, empty=INT64_MAX
+    ):
+        ws = self.workspace
+        primary = np.asarray(primary)
+        secondary = np.asarray(secondary)
+        node_mask = np.asarray(node_mask)
+        if self._native is not None:
+            out_p = ws.node_slot()
+            out_s = ws.node_slot()
+            out_t = ws.node_slot()
+            self._native["adopt_min3"](
+                primary,
+                secondary,
+                node_mask,
+                ws.indices,
+                ws.offsets,
+                np.int64(bias),
+                np.int64(empty),
+                out_p,
+                out_s,
+                out_t,
+            )
+            return out_p, out_s, out_t
+        return ws.adopt_min3(primary, secondary, node_mask, bias, empty)
+
+    def int_message_bits(self, values):
+        v = np.asarray(values, dtype=np.int64)
+        if (
+            not getattr(self, "_bits_ring_ok", False)
+            or v.size != self.size
+            or not v.size
+            or int(v.min()) < 0
+            or int(v.max()) >= 1 << 53
+        ):
+            return fast_int_message_bits(v)
+        # Full-size payloads (every FloodMin round) reuse three buffers:
+        # cast into the float64 scratch, frexp in place, fold the
+        # exponents into a ring slot. Same integers as the reference.
+        if self._bits_f64 is None:
+            self._bits_f64 = np.empty(self.size, dtype=np.float64)
+            self._bits_exp = np.empty(self.size, dtype=np.int32)
+        buf = self._bits_f64
+        np.copyto(buf, v, casting="unsafe")
+        np.frexp(buf, buf, self._bits_exp)
+        out = self.workspace.node_slot()
+        np.maximum(self._bits_exp, 1, out=out)
+        out += 1
+        return out
+
+    def broadcast(self, senders, bits):
+        # Whole-network broadcasts (every round of FloodMin, round 0 of
+        # BFS) need no per-sender degree gather: the fanout vector IS
+        # ``self.degrees``, the message count is its precomputed sum,
+        # and ``np.dot`` folds the bit total in one pass. Identical
+        # integers in the Sends either way; any CONGEST violation is
+        # re-raised by the reference path for the identical error.
+        if senders is not self._all_nodes or not self._congest_fast_ok():
+            return super().broadcast(senders, bits)
+        if not self.size:
+            return Sends()
+        bits = np.broadcast_to(np.asarray(bits, dtype=np.int64), (self.size,))
+        top = int(bits.max())
+        if self._congest and top > self.bandwidth:
+            return super().broadcast(senders, bits)
+        return Sends(self._degree_total, int(np.dot(self.degrees, bits)), top)
+
+    def _congest_fast_ok(self) -> bool:
+        """Whether the all-live broadcast shortcut applies (no degree-0
+        node, so ``bits[live].max() == bits.max()`` exactly)."""
+        if self._all_live is None:
+            degrees = self.degrees
+            has_empty = bool(self.workspace.empty_segments.any())
+            self._all_live = bool(degrees.size) and not has_empty
+            self._degree_total = int(degrees.sum())
+        return self._all_live
+
+
+class KernelEngine(ArrayEngine):
+    """:class:`ArrayEngine` on the fused kernel layer.
+
+    ``backend="numpy"`` (the ``engine="kernel"`` knob) runs the fused
+    in-place numpy passes; ``backend="numba"`` (``engine="native"``)
+    runs the JIT loops when numba is importable and otherwise warns and
+    falls back to the numpy kernels — absence of numba never fails a
+    run. Outputs and reports are bit-identical either way.
+    """
+
+    def __init__(self, graph, program: ArrayProgram, backend: str = "numpy", **kwargs):
+        if backend not in ("numpy", "numba"):
+            msg = f"unknown kernel backend {backend!r}; choose 'numpy' or 'numba'"
+            raise ConfigurationError(msg)
+        native = False
+        if backend == "numba":
+            native = native_available()
+            if not native:
+                _warn_native_fallback()
+        self._native = native
+        super().__init__(graph, program, **kwargs)
+
+    def _make_context(self, csr, claimed_n, source, model, bandwidth, uniform):
+        return KernelContext(
+            csr, claimed_n, source, model, bandwidth, uniform, native=self._native
+        )
+
+
+def round_engine(engine: str, graph, program: ArrayProgram, **kwargs):
+    """Construct the array-layer engine selected by an ``engine=`` knob.
+
+    ``kwargs`` pass through to the engine constructor (``source``,
+    ``model``, ``max_rounds``, ``csr``, ...). Callers handle
+    ``engine="fast"`` themselves — that one takes a node-program
+    factory, not an :class:`ArrayProgram`.
+    """
+    if engine == "array":
+        return ArrayEngine(graph, program, **kwargs)
+    if engine == "kernel":
+        return KernelEngine(graph, program, backend="numpy", **kwargs)
+    if engine == "native":
+        return KernelEngine(graph, program, backend="numba", **kwargs)
+    msg = f"unknown array-layer engine {engine!r}; choose from {ROUND_ENGINES}"
+    raise ConfigurationError(msg)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed on-disk graph cache
+# ----------------------------------------------------------------------
+class GraphCache:
+    """Content-addressed store of frozen graph topologies.
+
+    Each entry is a :meth:`CSRGraph.save` directory named by the
+    BLAKE2b-128 hex digest of the canonical JSON of its identifying
+    fields — the same keying discipline as the TrialStore — with the
+    fields themselves stored alongside in ``spec.json``, so a digest
+    collision or a stale foreign entry is detected on load instead of
+    silently served. Loads are memory-mapped: hitting the cache for a
+    10^6-node graph is O(1).
+
+    Writes go through a per-pid temp directory and an atomic rename, so
+    concurrent sweep workers racing on the same entry are safe (first
+    rename wins; losers discard their copy).
+    """
+
+    _SPEC_NAME = "spec.json"
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    @staticmethod
+    def key_of(**fields) -> str:
+        """BLAKE2b-128 digest of the canonical JSON of ``fields``."""
+        payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+        return blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+    def path_of(self, key: str) -> str:
+        return os.path.join(self.root, key)
+
+    def entries(self) -> List[str]:
+        """Keys currently stored, newest first (by entry mtime)."""
+        found = []
+        for name in os.listdir(self.root):
+            path = os.path.join(self.root, name)
+            if os.path.isfile(os.path.join(path, self._SPEC_NAME)):
+                found.append((os.path.getmtime(path), name))
+        return [name for _, name in sorted(found, reverse=True)]
+
+    def load(self, mmap: bool = True, **fields) -> Optional[CSRGraph]:
+        """The cached topology for ``fields``, or None on a miss.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the entry
+        under this key describes *different* fields — a key collision or
+        a corrupted entry, never something to serve silently.
+        """
+        key = self.key_of(**fields)
+        path = self.path_of(key)
+        spec_path = os.path.join(path, self._SPEC_NAME)
+        try:
+            with open(spec_path, encoding="utf-8") as fh:
+                stored = json.load(fh)
+        except OSError:
+            return None
+        except ValueError as exc:
+            msg = f"graph cache entry {key} has corrupt spec.json: {exc}"
+            raise ConfigurationError(msg)
+        expected = json.loads(json.dumps(fields))
+        if stored != expected:
+            msg = (
+                f"graph cache key {key} stores {stored!r}, not {expected!r}:"
+                f" digest collision or corrupted cache — clear {self.root}"
+            )
+            raise ConfigurationError(msg)
+        os.utime(path)  # LRU recency for prune()
+        return CSRGraph.load(path, mmap=mmap)
+
+    def store(self, csr: CSRGraph, **fields) -> str:
+        """Persist ``csr`` under the key of ``fields``; returns the key."""
+        key = self.key_of(**fields)
+        path = self.path_of(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            csr.save(tmp)
+            spec = os.path.join(tmp, self._SPEC_NAME)
+            with open(spec, "w", encoding="utf-8") as fh:
+                json.dump(fields, fh, sort_keys=True)
+                fh.write("\n")
+            try:
+                os.rename(tmp, path)
+            except OSError:
+                pass  # a concurrent writer won the race; keep its entry
+        finally:
+            if os.path.isdir(tmp):
+                shutil.rmtree(tmp, ignore_errors=True)
+        return key
+
+    def get(
+        self, builder: Callable[[], CSRGraph], mmap: bool = True, **fields
+    ) -> CSRGraph:
+        """The cached topology, building and storing it on a miss."""
+        cached = self.load(mmap=mmap, **fields)
+        if cached is not None:
+            return cached
+        built = builder()
+        self.store(built, **fields)
+        return built
+
+    def prune(self, keep: int) -> List[str]:
+        """Evict the least-recently-used entries beyond ``keep``.
+
+        Returns the evicted keys. ``keep=0`` empties the cache — the
+        documented cleanup path (the cache is content-addressed, so
+        deleting it is always safe).
+        """
+        if keep < 0:
+            raise ConfigurationError("keep must be >= 0")
+        victims = self.entries()[keep:]
+        for key in victims:
+            shutil.rmtree(self.path_of(key), ignore_errors=True)
+        return victims
+
+
+def default_graph_cache() -> Optional[GraphCache]:
+    """The cache named by ``$REPRO_GRAPH_CACHE``, or None when unset."""
+    root = os.environ.get(GRAPH_CACHE_ENV)
+    if not root:
+        return None
+    return GraphCache(root)

@@ -8,9 +8,21 @@ all algorithm randomness derives from ``spec.seed`` — so sweeps are
 reproducible and independent of worker count. They double as templates
 for writing new tasks.
 
-Every task takes an ``engine`` knob (``"fast"``, the default, or
-``"array"``); the two backends are bit-identical in outputs and
-reports, so sweeps can switch freely for speed.
+Every task takes an ``engine`` knob (``"fast"``, the default, or one of
+the array layer's backends ``"array"``/``"kernel"``/``"native"``, see
+:mod:`repro.sim.batch.kernels`); all backends are bit-identical in
+outputs and reports, so sweeps can switch freely for speed.
+
+Graph builds are deduplicated: each worker process keeps a small memo of
+``(DistributedGraph, CSRGraph)`` pairs keyed by the spec fields that
+actually determine the graph — for seed-invariant families (path, grid,
+...) and ID schemes (sequential, adversarial) the seed is dropped from
+the key, so a 100-seed sweep over a path builds it once per worker
+instead of 100 times. Outputs are byte-identical either way (that is
+what "seed-invariant" means, and tests assert it). Setting
+``$REPRO_GRAPH_CACHE`` additionally persists frozen CSR topologies to a
+content-addressed on-disk cache shared across sweeps (see
+:class:`~repro.sim.batch.kernels.GraphCache`).
 
 The scenario layer (:mod:`repro.scenarios`) compiles its adversarial
 knobs onto the same specs: ``ids`` picks the UID-assignment scheme
@@ -28,7 +40,8 @@ those knobs take exactly the code paths they always did.
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 from ...errors import (
     BandwidthExceeded,
@@ -36,12 +49,19 @@ from ...errors import (
     ModelViolation,
     RandomnessExhausted,
 )
-from ...graphs import assign, make
+from ...graphs import (
+    SEED_INVARIANT_FAMILIES,
+    SEED_INVARIANT_SCHEMES,
+    assign,
+    make,
+)
 from ...randomness.independent import IndependentSource
 from ..engine import CONGEST
+from ..graph import DistributedGraph
+from .csr import CSRGraph, ensure_csr
 from .runner import TrialResult, TrialSpec
 
-_ENGINES = ("fast", "array")
+_ENGINES = ("fast", "array", "kernel", "native")
 
 #: Model-level failure signals an adversarial trial converts to data.
 _TRIAL_FAILURES = (ModelViolation, BandwidthExceeded, RandomnessExhausted)
@@ -55,10 +75,77 @@ def _engine_of(spec: TrialSpec) -> str:
     return engine
 
 
-def _graph_of(spec: TrialSpec):
-    """Build the spec's graph with its ID scheme (default "random")."""
-    return assign(make(spec.family, spec.n, seed=spec.seed),
-                  spec.param("ids", "random"), seed=spec.seed)
+#: Process-local memo of built graphs: key -> (DistributedGraph, CSRGraph).
+#: Small LRU — a sweep iterates specs grouped by graph, so adjacent
+#: trials hit; the cap bounds memory when they do not.
+_GRAPH_MEMO: "OrderedDict[tuple, Tuple[DistributedGraph, CSRGraph]]" = (
+    OrderedDict())
+_GRAPH_MEMO_CAP = 4
+
+
+def _memo_key(spec: TrialSpec) -> tuple:
+    """The spec fields that determine the graph, seed-normalized.
+
+    Seed-invariant families and ID schemes record ``None`` in the seed
+    slot, so every seed of a sweep maps to one memo entry (and one
+    on-disk cache entry).
+    """
+    ids = spec.param("ids", "random")
+    topo_seed = (None if spec.family in SEED_INVARIANT_FAMILIES
+                 else spec.seed)
+    uid_seed = None if ids in SEED_INVARIANT_SCHEMES else spec.seed
+    return (spec.family, spec.n, topo_seed, ids, uid_seed)
+
+
+def _csr_of(g: DistributedGraph, key: tuple) -> CSRGraph:
+    """Freeze ``g``'s topology, consulting the on-disk cache if enabled.
+
+    Cache trouble (stale entry, key collision, filesystem errors) never
+    breaks a sweep: any failure falls back to a fresh O(n + m) build,
+    which is exactly what running without the cache does.
+    """
+    # Deferred: clean sweeps without $REPRO_GRAPH_CACHE never pay for
+    # the kernel layer's import.
+    from .kernels import default_graph_cache
+
+    cache = default_graph_cache()
+    if cache is None:
+        return ensure_csr(g, None)
+    family, n, topo_seed, ids, uid_seed = key
+    fields = dict(kind="trial-graph", family=family, n=n,
+                  topo_seed=topo_seed, ids=ids, uid_seed=uid_seed)
+    try:
+        cached = cache.load(**fields)
+        if cached is not None:
+            return ensure_csr(g, cached)
+    except (ConfigurationError, OSError):
+        pass
+    csr = ensure_csr(g, None)
+    try:
+        cache.store(csr, **fields)
+    except (ConfigurationError, OSError):
+        pass
+    return csr
+
+
+def _graph_of(spec: TrialSpec) -> Tuple[DistributedGraph, CSRGraph]:
+    """The spec's graph (ID scheme default "random") plus frozen CSR.
+
+    Memoized per worker process, so a sweep builds each distinct graph
+    once no matter how many seeds or algorithms share it.
+    """
+    key = _memo_key(spec)
+    hit = _GRAPH_MEMO.get(key)
+    if hit is not None:
+        _GRAPH_MEMO.move_to_end(key)
+        return hit
+    g = assign(make(spec.family, spec.n, seed=spec.seed),
+               key[3], seed=spec.seed)
+    entry = (g, _csr_of(g, key))
+    _GRAPH_MEMO[key] = entry
+    while len(_GRAPH_MEMO) > _GRAPH_MEMO_CAP:
+        _GRAPH_MEMO.popitem(last=False)
+    return entry
 
 
 def _faults_of(spec: TrialSpec):
@@ -102,8 +189,9 @@ def _report_data(result) -> dict:
 def luby_mis_trial(spec: TrialSpec) -> TrialResult:
     """Luby's MIS in CONGEST; ``ok`` is MIS validity.
 
-    Knobs: ``engine`` ("fast"/"array"), ``max_rounds``, ``ids``,
-    ``bit_budget``, ``fault_*`` (see module docstring). Under crashes,
+    Knobs: ``engine`` ("fast"/"array"/"kernel"/"native"),
+    ``max_rounds``, ``ids``, ``bit_budget``, ``fault_*`` (see module
+    docstring). Under crashes,
     dead nodes output ``None`` and ``ok`` reports whether the surviving
     flags still form a valid MIS — usually not, which is the point.
     """
@@ -117,7 +205,7 @@ def luby_mis_trial(spec: TrialSpec) -> TrialResult:
         # than silently running CONGEST on a spec that asks otherwise.
         raise ConfigurationError(
             f"luby_mis_trial runs in CONGEST, got model={model!r}")
-    g = _graph_of(spec)
+    g, csr = _graph_of(spec)
     faults = _faults_of(spec)
     budget = spec.param("bit_budget")
 
@@ -125,7 +213,7 @@ def luby_mis_trial(spec: TrialSpec) -> TrialResult:
         result = luby_mis(g, IndependentSource(seed=spec.seed,
                                                bit_budget=budget),
                           max_rounds=spec.param("max_rounds", 100_000),
-                          engine=_engine_of(spec), faults=faults)
+                          engine=_engine_of(spec), faults=faults, csr=csr)
         return TrialResult(spec, is_valid_mis(g, result.outputs),
                            _report_data(result))
 
@@ -137,18 +225,20 @@ def flood_min_trial(spec: TrialSpec) -> TrialResult:
     (only guaranteed once ``radius`` reaches the graph diameter).
 
     Knobs: ``radius`` (default 8), ``model`` (default CONGEST),
-    ``engine`` ("fast"/"array"), ``ids``, ``fault_*`` (see module
-    docstring; omission loss makes the min propagate late or never).
+    ``engine`` ("fast"/"array"/"kernel"/"native"), ``ids``, ``fault_*``
+    (see module docstring; omission loss makes the min propagate late
+    or never).
     """
     from ..primitives import flood_min
 
-    g = _graph_of(spec)
+    g, csr = _graph_of(spec)
     faults = _faults_of(spec)
 
     def run() -> TrialResult:
         result = flood_min(g, spec.param("radius", 8),
                            model=spec.param("model", CONGEST),
-                           engine=_engine_of(spec), faults=faults)
+                           engine=_engine_of(spec), faults=faults,
+                           csr=csr)
         global_min = min(g.uid(v) for v in g.nodes())
         ok = all(out == global_min for out in result.outputs.values())
         return TrialResult(spec, ok, _report_data(result))
@@ -160,19 +250,21 @@ def bfs_forest_trial(spec: TrialSpec) -> TrialResult:
     """BFS forest grown from node 0; ``ok`` means every node was claimed
     (guaranteed on connected graphs once the depth bound covers them).
 
-    Knobs: ``depth_bound`` (default n), ``engine`` ("fast"/"array"),
-    ``ids``, ``fault_*`` (see module docstring; churn can sever the
-    frontier mid-growth, leaving unclaimed nodes).
+    Knobs: ``depth_bound`` (default n), ``engine``
+    ("fast"/"array"/"kernel"/"native"), ``ids``, ``fault_*`` (see
+    module docstring; churn can sever the frontier mid-growth, leaving
+    unclaimed nodes).
     """
     from ..primitives import build_bfs_forest
 
-    g = _graph_of(spec)
+    g, csr = _graph_of(spec)
     faults = _faults_of(spec)
 
     def run() -> TrialResult:
         result = build_bfs_forest(g, {0},
                                   depth_bound=spec.param("depth_bound"),
-                                  engine=_engine_of(spec), faults=faults)
+                                  engine=_engine_of(spec), faults=faults,
+                                  csr=csr)
         ok = all(out is not None for out in result.outputs.values())
         return TrialResult(spec, ok, _report_data(result))
 

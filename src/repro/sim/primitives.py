@@ -31,13 +31,12 @@ from ..errors import ConfigurationError
 from .batch.array import (
     INT64_MAX,
     ArrayContext,
-    ArrayEngine,
     ArrayProgram,
     Sends,
-    int_message_bits,
     tuple_message_bits,
 )
 from .batch.fast_engine import FastEngine
+from .batch.kernels import ROUND_ENGINES, round_engine
 from .engine import CONGEST
 from .graph import DistributedGraph
 from .metrics import AlgorithmResult
@@ -88,22 +87,22 @@ class ArrayFloodMin(ArrayProgram):
 
     def init(self, ctx: ArrayContext) -> Optional[Sends]:
         self.best = ctx.uids.copy()
-        everyone = np.arange(ctx.size)
         if self.radius == 0:
-            ctx.finish(everyone, self.best)
+            ctx.finish(ctx.all_nodes, self.best)
             return None
-        return ctx.broadcast(everyone, int_message_bits(self.best))
+        return ctx.broadcast(ctx.all_nodes,
+                             ctx.int_message_bits(self.best))
 
     def step(self, ctx: ArrayContext, round_index: int) -> Optional[Sends]:
         # What neighbors broadcast last round is their current best: it
         # only changes below, after this aggregation.
-        nbr_best = ctx.neighbor_min(ctx.gather(self.best))
+        nbr_best = ctx.gather_neighbor_min(self.best)
         np.minimum(self.best, nbr_best, out=self.best)
-        everyone = np.arange(ctx.size)
         if round_index >= self.radius:
-            ctx.finish(everyone, self.best)
+            ctx.finish(ctx.all_nodes, self.best)
             return None
-        return ctx.broadcast(everyone, int_message_bits(self.best))
+        return ctx.broadcast(ctx.all_nodes,
+                             ctx.int_message_bits(self.best))
 
 
 class BFSTree(NodeProgram):
@@ -175,22 +174,14 @@ class ArrayBFSForest(ArrayProgram):
         self.root[r] = ctx.uids[r]
         self.sent[r] = True
         return ctx.broadcast(r, tuple_message_bits(
-            ctx.uid_message_bits[r], int_message_bits(self.depth[r])))
+            ctx.uid_message_bits[r], ctx.int_message_bits(self.depth[r])))
 
     def step(self, ctx: ArrayContext, round_index: int) -> Optional[Sends]:
-        sent_e = self.sent[ctx.indices]
-        if sent_e.any():
-            seg = ctx.segments
-            root_e = np.where(sent_e, self.root[ctx.indices], INT64_MAX)
-            r_min = ctx.neighbor_min(root_e)
-            # Senders always hold a claim, so depth is real where sent.
-            offer_depth_e = np.where(sent_e, self.depth[ctx.indices], 0) + 1
-            tie1 = sent_e & (root_e == r_min[seg])
-            d_min = ctx.neighbor_min(
-                np.where(tie1, offer_depth_e, INT64_MAX))
-            tie2 = tie1 & (offer_depth_e == d_min[seg])
-            s_min = ctx.neighbor_min(
-                np.where(tie2, ctx.indices, INT64_MAX))
+        if self.sent.any():
+            # Senders always hold a claim, so depth is real where sent;
+            # the three-pass lexicographic min is one fused op.
+            r_min, d_min, s_min = ctx.adopt_neighbor_min3(
+                self.root, self.depth, self.sent)
             has_offer = r_min < INT64_MAX
             improved = has_offer & (
                 (r_min < self.root)
@@ -212,14 +203,14 @@ class ArrayBFSForest(ArrayProgram):
                 (roots[v], parents[v] if parents[v] >= 0 else None, depths[v])
                 for v in range(ctx.size)
             ]
-            ctx.finish(np.arange(ctx.size), outputs)
+            ctx.finish(ctx.all_nodes, outputs)
             return None
         senders = np.flatnonzero(self.sent)
         if not senders.size:
             return None
         return ctx.broadcast(senders, tuple_message_bits(
-            int_message_bits(self.root[senders]),
-            int_message_bits(self.depth[senders])))
+            ctx.int_message_bits(self.root[senders]),
+            ctx.int_message_bits(self.depth[senders])))
 
 
 def _reject_array_faults(faults) -> None:
@@ -229,34 +220,59 @@ def _reject_array_faults(faults) -> None:
             "has no per-message delivery hook")
 
 
-def flood_min(graph: DistributedGraph, radius: int, model: str = CONGEST,
-              engine: str = "fast", faults=None) -> AlgorithmResult:
-    """Run FloodMin on the selected engine (``"fast"`` or ``"array"``)."""
-    if engine == "array":
+def flood_min(graph: Optional[DistributedGraph], radius: int,
+              model: str = CONGEST, engine: str = "fast", faults=None,
+              csr=None) -> AlgorithmResult:
+    """Run FloodMin on the selected engine.
+
+    ``engine`` is ``"fast"`` (per-node program) or one of the array
+    layer's backends (``"array"``/``"kernel"``/``"native"``, see
+    :mod:`repro.sim.batch.kernels`); all are bit-identical. ``csr``
+    reuses a frozen topology (``graph`` may then be ``None``).
+    """
+    if engine in ROUND_ENGINES:
         _reject_array_faults(faults)
-        return ArrayEngine(graph, ArrayFloodMin(radius), model=model).run()
+        return round_engine(engine, graph, ArrayFloodMin(radius),
+                            model=model, csr=csr).run()
     if engine == "fast":
         return FastEngine(graph, lambda _v: FloodMin(radius),
-                          model=model, faults=faults).run()
+                          model=model, csr=csr, faults=faults).run()
     raise ConfigurationError(
-        f"unknown engine {engine!r}; choose 'fast' or 'array'")
+        f"unknown engine {engine!r}; choose from "
+        f"{('fast',) + ROUND_ENGINES}")
 
 
-def build_bfs_forest(graph: DistributedGraph, roots,
+def build_bfs_forest(graph: Optional[DistributedGraph], roots,
                      depth_bound: Optional[int] = None,
-                     engine: str = "fast", faults=None) -> AlgorithmResult:
-    """Grow the BFS forest on the selected engine (CONGEST)."""
-    bound = depth_bound if depth_bound is not None else graph.n
-    if engine == "array":
+                     engine: str = "fast", faults=None,
+                     csr=None) -> AlgorithmResult:
+    """Grow the BFS forest on the selected engine (CONGEST).
+
+    Engine and ``csr`` knobs as in :func:`flood_min`. With ``graph=None``
+    the default ``depth_bound`` comes from the CSR's node count.
+    """
+    if depth_bound is not None:
+        bound = depth_bound
+    elif graph is not None:
+        bound = graph.n
+    elif csr is not None:
+        bound = csr.n
+    else:
+        raise ConfigurationError(
+            "build_bfs_forest needs a DistributedGraph or a pre-built "
+            "CSRGraph; both were None")
+    if engine in ROUND_ENGINES:
         _reject_array_faults(faults)
-        return ArrayEngine(graph, ArrayBFSForest(roots, bound),
-                           model=CONGEST, max_rounds=bound + 2).run()
+        return round_engine(engine, graph, ArrayBFSForest(roots, bound),
+                            model=CONGEST, max_rounds=bound + 2,
+                            csr=csr).run()
     if engine == "fast":
         return FastEngine(graph, lambda _v: BFSTree(roots, bound),
                           model=CONGEST, max_rounds=bound + 2,
-                          faults=faults).run()
+                          csr=csr, faults=faults).run()
     raise ConfigurationError(
-        f"unknown engine {engine!r}; choose 'fast' or 'array'")
+        f"unknown engine {engine!r}; choose from "
+        f"{('fast',) + ROUND_ENGINES}")
 
 
 def convergecast_sum(graph: DistributedGraph,

@@ -1,0 +1,513 @@
+"""The kernel layer: fused workspaces, mmap CSR, graph cache, JIT knob.
+
+Four contracts, each pinned here:
+
+1. **Fused kernels are bit-identical** to the stateless reference
+   passes, including on the degenerate topologies ``reduceat`` gets
+   wrong without the padded-sentinel fix (empty graphs, all-isolated
+   nodes, single node, empty segments interleaved with full ones).
+2. **Zero allocation after warm-up**: the fused ops run with
+   ``np.empty``/``np.append``/``np.where``/... forbidden outright.
+3. **Persistence round-trips exactly**: ``CSRGraph.save``/``load``
+   (mmap or not) reproduce offsets/indices/uids/degrees bit-for-bit
+   and engine runs on a mmap-loaded CSR match in-memory runs.
+4. **The cache and the sweep dedupe change no bytes**: memoized graph
+   builds and $REPRO_GRAPH_CACHE produce result-for-result identical
+   sweeps while building each distinct graph once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from helpers import FAMILY_NAMES
+from repro.core.mis import ArrayLubyMIS, LubyMIS, luby_mis
+from repro.errors import ConfigurationError
+from repro.graphs import assign, make
+from repro.randomness import IndependentSource
+from repro.sim import CONGEST, FastEngine
+from repro.sim.batch import CSRGraph, TrialSpec, grid, run_trials
+from repro.sim.batch import tasks as batch_tasks
+from repro.sim.batch.array import segment_reduce
+from repro.sim.batch.kernels import (
+    GRAPH_CACHE_ENV,
+    ROUND_ENGINES,
+    GraphCache,
+    KernelEngine,
+    KernelWorkspace,
+    _NODE_SLOTS,
+    default_graph_cache,
+    fast_int_message_bits,
+    native_available,
+    native_unavailable_reason,
+    round_engine,
+)
+from repro.sim.batch.tasks import luby_mis_trial
+from repro.sim.primitives import (
+    ArrayBFSForest,
+    ArrayFloodMin,
+    BFSTree,
+    FloodMin,
+    build_bfs_forest,
+    flood_min,
+)
+
+INT64_MAX = np.iinfo(np.int64).max
+
+
+def csr_of(neighbor_lists, uids=None):
+    """Hand-built CSRGraph from index-keyed adjacency lists."""
+    offsets = np.zeros(len(neighbor_lists) + 1, dtype=np.int64)
+    np.cumsum([len(a) for a in neighbor_lists], out=offsets[1:])
+    indices = np.array([u for adj in neighbor_lists for u in adj] or [],
+                       dtype=np.int64)
+    if uids is None:
+        uids = tuple(range(1, len(neighbor_lists) + 1))
+    return CSRGraph(offsets, indices, tuple(uids))
+
+
+#: Degenerate topologies where a naive reduceat miscomputes.
+EDGE_CASES = {
+    "single-node": [[]],
+    "all-isolated": [[], [], [], []],
+    "interleaved-empty": [[2], [], [0, 4], [], [2]],
+    "leading-empty": [[], [2], [1]],
+    "trailing-empty": [[1], [0], []],
+}
+
+
+def reference_lex_max2(csr, primary, secondary, node_mask, empty=-1):
+    best = np.full(csr.n, empty, dtype=np.int64)
+    best_tie = np.full(csr.n, empty, dtype=np.int64)
+    for v in range(csr.n):
+        for u in csr.indices[csr.offsets[v]:csr.offsets[v + 1]]:
+            if not node_mask[u]:
+                continue
+            pair = (primary[u], secondary[u])
+            if pair > (best[v], best_tie[v]):
+                best[v], best_tie[v] = pair
+    return best, best_tie
+
+
+def reference_adopt_min3(csr, primary, secondary, node_mask, bias=1,
+                         empty=INT64_MAX):
+    outs = [np.full(csr.n, empty, dtype=np.int64) for _ in range(3)]
+    for v in range(csr.n):
+        for u in csr.indices[csr.offsets[v]:csr.offsets[v + 1]]:
+            if not node_mask[u]:
+                continue
+            trip = (primary[u], secondary[u] + bias, u)
+            if trip < (outs[0][v], outs[1][v], outs[2][v]):
+                outs[0][v], outs[1][v], outs[2][v] = trip
+    return tuple(outs)
+
+
+@pytest.mark.parametrize("name", sorted(EDGE_CASES))
+class TestWorkspaceEdgeCases:
+    """Fused ops == reference passes on every degenerate topology."""
+
+    def make_case(self, name, seed=0):
+        csr = csr_of(EDGE_CASES[name])
+        ws = KernelWorkspace(csr.offsets, csr.indices)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 50, size=csr.n, dtype=np.int64)
+        mask = rng.integers(0, 2, size=csr.n).astype(bool)
+        return csr, ws, values, mask
+
+    def test_segment_reduce_matches_stateless(self, name):
+        csr, ws, values, _ = self.make_case(name)
+        edge_values = values[csr.indices]
+        for ufunc, identity in ((np.minimum, INT64_MAX), (np.maximum, -1),
+                                (np.add, 0)):
+            want = segment_reduce(edge_values, csr.offsets, ufunc, identity)
+            got = ws.segment_reduce(edge_values, ufunc, identity)
+            np.testing.assert_array_equal(got, want)
+
+    def test_count_and_gather(self, name):
+        csr, ws, values, mask = self.make_case(name)
+        want_count = segment_reduce(
+            mask[csr.indices].astype(np.int64), csr.offsets, np.add, 0)
+        np.testing.assert_array_equal(ws.count_true(mask), want_count)
+        want_min = segment_reduce(values[csr.indices], csr.offsets,
+                                  np.minimum, INT64_MAX)
+        np.testing.assert_array_equal(ws.gather_min(values), want_min)
+
+    def test_lex_max2(self, name):
+        csr, ws, values, mask = self.make_case(name)
+        secondary = np.arange(csr.n, dtype=np.int64) * 7 % 5
+        want = reference_lex_max2(csr, values, secondary, mask)
+        got = ws.lex_max2(values, secondary, mask)
+        np.testing.assert_array_equal(got[0], want[0])
+        np.testing.assert_array_equal(got[1], want[1])
+
+    def test_adopt_min3(self, name):
+        csr, ws, values, mask = self.make_case(name)
+        secondary = np.arange(csr.n, dtype=np.int64)
+        want = reference_adopt_min3(csr, values, secondary, mask, bias=3)
+        got = ws.adopt_min3(values, secondary, mask, bias=3)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g, w)
+
+    def test_ties_resolve_identically(self, name):
+        # All-equal primaries force every tie-break path.
+        csr, ws, _, mask = self.make_case(name)
+        values = np.full(csr.n, 9, dtype=np.int64)
+        secondary = np.arange(csr.n, dtype=np.int64)[::-1].copy()
+        want = reference_lex_max2(csr, values, secondary, mask)
+        got = ws.lex_max2(values, secondary, mask)
+        np.testing.assert_array_equal(got[1], want[1])
+        want3 = reference_adopt_min3(csr, values, secondary, mask)
+        got3 = ws.adopt_min3(values, secondary, mask)
+        for g, w in zip(got3, want3):
+            np.testing.assert_array_equal(g, w)
+
+
+class TestFastIntMessageBits:
+    """The frexp-split bit counter must match the shift-loop reference
+    on every non-negative int64 it could ever see."""
+
+    def test_exact_at_every_power_boundary(self):
+        from repro.sim.batch.array import int_message_bits
+
+        probes = [0, 1]
+        for k in range(1, 63):
+            probes.extend([(1 << k) - 1, 1 << k, (1 << k) + 1])
+        probes.append(np.iinfo(np.int64).max)
+        values = np.array(sorted(set(probes)), dtype=np.int64)
+        np.testing.assert_array_equal(
+            fast_int_message_bits(values), int_message_bits(values))
+
+    def test_exact_on_random_values(self):
+        from repro.sim.batch.array import int_message_bits
+
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, np.iinfo(np.int64).max, size=5000,
+                              endpoint=True, dtype=np.int64)
+        np.testing.assert_array_equal(
+            fast_int_message_bits(values), int_message_bits(values))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            fast_int_message_bits(np.array([3, -1], dtype=np.int64))
+
+    def test_empty_input(self):
+        assert fast_int_message_bits(np.array([], dtype=np.int64)).size == 0
+
+
+class TestWorkspaceMechanics:
+    def test_node_slot_ring_reuses_after_capacity(self):
+        ws = KernelWorkspace(np.array([0, 0], dtype=np.int64),
+                             np.array([], dtype=np.int64))
+        slots = [ws.node_slot() for _ in range(_NODE_SLOTS)]
+        assert len({id(s) for s in slots}) == _NODE_SLOTS
+        assert ws.node_slot() is slots[0]
+        assert ws.node_slot() is slots[1]
+
+    def test_fused_ops_allocate_nothing_after_warmup(self, monkeypatch):
+        csr = csr_of(EDGE_CASES["interleaved-empty"])
+        ws = KernelWorkspace(csr.offsets, csr.indices)
+        values = np.arange(csr.n, dtype=np.int64)
+        mask = values % 2 == 0
+
+        def exercise():
+            ws.segment_reduce(values[csr.indices], np.minimum, INT64_MAX,
+                              out=ws.node_slot())
+            ws.count_true(mask)
+            ws.gather_min(values)
+            ws.lex_max2(values, values, mask)
+            ws.adopt_min3(values, values, mask)
+
+        for _ in range(3):  # warm up: fill buffer pools and the ring
+            exercise()
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError("fused kernels must not allocate")
+
+        for fn in ("empty", "zeros", "ones", "full", "append", "where"):
+            monkeypatch.setattr(np, fn, forbidden)
+        exercise()
+
+    def test_engine_run_never_calls_np_append(self, monkeypatch, gnp60):
+        # The original hot-path bug: segment_reduce padded via np.append
+        # on every call. A whole kernel-engine run must not touch it.
+        ref = flood_min(gnp60, 6, engine="fast")
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError("np.append on the engine hot path")
+
+        monkeypatch.setattr(np, "append", forbidden)
+        assert_identical(ref, flood_min(gnp60, 6, engine="kernel"))
+
+
+def assert_identical(ref, got):
+    assert got.outputs == ref.outputs
+    assert dataclasses.asdict(got.report) == dataclasses.asdict(ref.report)
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+@pytest.mark.parametrize("engine", ["kernel", "native"])
+class TestKernelParitySweep:
+    """Kernel-layer engines == FastEngine across the 7-family sweep.
+
+    Where numba is unavailable, ``engine="native"`` exercises the
+    documented fallback (bit-identical by construction, warns once per
+    engine build) — so this sweep pins both JIT parity and fallback
+    parity depending on the environment.
+    """
+
+    SIZES = (13, 32)
+    SEEDS = (0, 1, 2)
+
+    def run_pair(self, family, n, seed, engine, node_factory, program,
+                 source_seed=None, **kwargs):
+        g = assign(make(family, n, seed=seed), "random", seed=seed)
+        src = (IndependentSource(seed=source_seed)
+               if source_seed is not None else None)
+        ref = FastEngine(g, node_factory, source=src, model=CONGEST,
+                         **kwargs).run()
+        src = (IndependentSource(seed=source_seed)
+               if source_seed is not None else None)
+        with pytest.MonkeyPatch.context() as mp:
+            if not native_available():
+                mp.setattr("warnings.warn", lambda *a, **k: None)
+            got = round_engine(engine, g, program, source=src,
+                               model=CONGEST, **kwargs).run()
+        assert_identical(ref, got)
+
+    def test_luby_mis(self, family, engine):
+        for n in self.SIZES:
+            for seed in self.SEEDS:
+                self.run_pair(family, n, seed, engine,
+                              lambda _v: LubyMIS(), ArrayLubyMIS(),
+                              source_seed=100 + seed)
+
+    def test_flood_min(self, family, engine):
+        for n in self.SIZES:
+            for seed in self.SEEDS:
+                self.run_pair(family, n, seed, engine,
+                              lambda _v: FloodMin(1 + seed),
+                              ArrayFloodMin(1 + seed))
+
+    def test_bfs_forest(self, family, engine):
+        for n in self.SIZES:
+            for seed in self.SEEDS:
+                roots = {0, seed + 1}
+                self.run_pair(family, n, seed, engine,
+                              lambda _v: BFSTree(roots, n),
+                              ArrayBFSForest(roots, n), max_rounds=n + 2)
+
+
+class TestMmapCSR:
+    def test_save_load_roundtrip_exact(self, tmp_path, gnp60):
+        csr = CSRGraph.from_graph(gnp60)
+        path = tmp_path / "g"
+        csr.save(path)
+        for mmap in (True, False):
+            loaded = CSRGraph.load(path, mmap=mmap)
+            assert (loaded.n, loaded.m) == (csr.n, csr.m)
+            np.testing.assert_array_equal(loaded.offsets, csr.offsets)
+            np.testing.assert_array_equal(loaded.indices, csr.indices)
+            np.testing.assert_array_equal(loaded.degrees, csr.degrees)
+            assert loaded.uids == csr.uids
+            assert loaded.uid(3) == csr.uid(3)
+
+    def test_mmap_runs_bit_identical(self, tmp_path, gnp60):
+        csr = CSRGraph.from_graph(gnp60)
+        path = tmp_path / "g"
+        csr.save(path)
+        loaded = CSRGraph.load(path, mmap=True)
+        for engine in ("array", "kernel"):
+            ref = luby_mis(gnp60, IndependentSource(seed=5), engine=engine)
+            got = luby_mis(None, IndependentSource(seed=5), engine=engine,
+                           csr=loaded)
+            assert_identical(ref, got)
+            ref = build_bfs_forest(gnp60, {0, 7}, engine=engine)
+            got = build_bfs_forest(None, {0, 7}, engine=engine, csr=loaded)
+            assert_identical(ref, got)
+
+    def test_load_rejects_non_cache_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a CSRGraph.save"):
+            CSRGraph.load(tmp_path / "missing")
+
+    def test_engines_require_graph_or_csr(self):
+        with pytest.raises(ConfigurationError, match="both were None"):
+            flood_min(None, 3, engine="kernel")
+        with pytest.raises(ConfigurationError, match="both were None"):
+            build_bfs_forest(None, {0}, engine="kernel")
+
+
+class TestGraphCache:
+    FIELDS = dict(kind="test", family="path", n=9, seed=None)
+
+    def test_miss_then_hit(self, tmp_path, path9):
+        cache = GraphCache(tmp_path)
+        assert cache.load(**self.FIELDS) is None
+        csr = CSRGraph.from_graph(path9)
+        key = cache.store(csr, **self.FIELDS)
+        assert cache.entries() == [key]
+        hit = cache.load(**self.FIELDS)
+        assert hit is not None and hit.uids == csr.uids
+        np.testing.assert_array_equal(hit.indices, csr.indices)
+
+    def test_get_builds_once(self, tmp_path, path9):
+        cache = GraphCache(tmp_path)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return CSRGraph.from_graph(path9)
+
+        first = cache.get(builder, **self.FIELDS)
+        second = cache.get(builder, **self.FIELDS)
+        assert len(calls) == 1
+        assert first.uids == second.uids
+
+    def test_collision_detected(self, tmp_path, path9):
+        cache = GraphCache(tmp_path)
+        key = cache.store(CSRGraph.from_graph(path9), **self.FIELDS)
+        spec = os.path.join(cache.path_of(key), "spec.json")
+        with open(spec, "w", encoding="utf-8") as fh:
+            json.dump({"kind": "something-else"}, fh)
+        with pytest.raises(ConfigurationError, match="collision"):
+            cache.load(**self.FIELDS)
+
+    def test_corrupt_spec_detected(self, tmp_path, path9):
+        cache = GraphCache(tmp_path)
+        key = cache.store(CSRGraph.from_graph(path9), **self.FIELDS)
+        spec = os.path.join(cache.path_of(key), "spec.json")
+        with open(spec, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            cache.load(**self.FIELDS)
+
+    def test_prune_evicts_least_recently_used(self, tmp_path, path9):
+        cache = GraphCache(tmp_path)
+        csr = CSRGraph.from_graph(path9)
+        keys = [cache.store(csr, **{**self.FIELDS, "n": n})
+                for n in (1, 2, 3)]
+        for age, key in zip((30, 20, 10), keys):
+            ts = 1_700_000_000 - age
+            os.utime(cache.path_of(key), (ts, ts))
+        cache.load(**{**self.FIELDS, "n": 1})  # refresh the oldest
+        evicted = cache.prune(keep=2)
+        assert evicted == [keys[1]]
+        assert set(cache.entries()) == {keys[0], keys[2]}
+        assert cache.prune(keep=0) != []
+        assert cache.entries() == []
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            cache.prune(keep=-1)
+
+    def test_default_cache_reads_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(GRAPH_CACHE_ENV, raising=False)
+        assert default_graph_cache() is None
+        monkeypatch.setenv(GRAPH_CACHE_ENV, str(tmp_path / "cache"))
+        cache = default_graph_cache()
+        assert cache is not None and os.path.isdir(cache.root)
+
+
+class TestNativeKnob:
+    def test_unknown_engine_and_backend_rejected(self, path9):
+        with pytest.raises(ConfigurationError, match="unknown array-layer"):
+            round_engine("warp", path9, ArrayFloodMin(2))
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            KernelEngine(path9, ArrayFloodMin(2), backend="cuda")
+        assert ROUND_ENGINES == ("array", "kernel", "native")
+
+    @pytest.mark.skipif(native_available(), reason="numba importable here")
+    def test_fallback_warns_and_matches(self, gnp60):
+        assert isinstance(native_unavailable_reason(), str)
+        ref = flood_min(gnp60, 4, engine="kernel")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = flood_min(gnp60, 4, engine="native")
+        assert_identical(ref, got)
+
+    @pytest.mark.skipif(not native_available(),
+                        reason="numba not installed")
+    def test_jit_path_live_when_numba_present(self):
+        assert native_unavailable_reason() is None
+        eng = KernelEngine(assign(make("path", 9), "random"),
+                           ArrayFloodMin(2), backend="numba")
+        assert eng._native
+
+
+class TestSweepDedupe:
+    """Graph-build memoization changes no result bytes."""
+
+    SEEDS = list(range(5))
+
+    def run_sweep(self, family, engine="fast", ids="random"):
+        specs = grid([family], [12], self.SEEDS, engine=engine, ids=ids,
+                     radius=6)
+        from repro.sim.batch.tasks import flood_min_trial
+
+        return run_trials(flood_min_trial, specs, workers=1)
+
+    def fresh_memo(self, monkeypatch, cap=None):
+        monkeypatch.setattr(batch_tasks, "_GRAPH_MEMO",
+                            type(batch_tasks._GRAPH_MEMO)())
+        if cap is not None:
+            monkeypatch.setattr(batch_tasks, "_GRAPH_MEMO_CAP", cap)
+
+    @pytest.mark.parametrize("family", ["path", "gnp-sparse"])
+    @pytest.mark.parametrize("engine", ["fast", "kernel"])
+    def test_memoized_sweep_byte_identical(self, monkeypatch, family,
+                                           engine):
+        self.fresh_memo(monkeypatch)
+        memoized = self.run_sweep(family, engine=engine)
+        self.fresh_memo(monkeypatch, cap=0)  # cap 0 == no reuse at all
+        fresh = self.run_sweep(family, engine=engine)
+        assert memoized == fresh
+
+    def test_seed_invariant_family_builds_once(self, monkeypatch):
+        self.fresh_memo(monkeypatch)
+        calls = []
+        real_make = batch_tasks.make
+        monkeypatch.setattr(
+            batch_tasks, "make",
+            lambda *a, **k: calls.append(a) or real_make(*a, **k))
+        self.run_sweep("path", ids="sequential")
+        assert len(calls) == 1  # five seeds, one identical graph
+        calls.clear()
+        self.run_sweep("gnp-sparse")  # seed changes the topology
+        assert len(calls) == len(self.SEEDS)
+
+    def test_random_ids_still_keyed_by_seed(self, monkeypatch):
+        # Seed-invariant topology but seeded UIDs: the graph family dedupes
+        # per (family, n) only when the ID scheme is seed-free too.
+        self.fresh_memo(monkeypatch)
+        calls = []
+        real_make = batch_tasks.make
+        monkeypatch.setattr(
+            batch_tasks, "make",
+            lambda *a, **k: calls.append(a) or real_make(*a, **k))
+        results = self.run_sweep("path", ids="random")
+        assert len(calls) == len(self.SEEDS)
+        # Distinct seeds must still see distinct UID assignments.
+        bits = {r.data["total_bits"] for r in results}
+        assert len(bits) > 1
+
+    def test_disk_cache_round_trip_identical(self, monkeypatch, tmp_path):
+        self.fresh_memo(monkeypatch)
+        monkeypatch.delenv(GRAPH_CACHE_ENV, raising=False)
+        baseline = self.run_sweep("path", engine="kernel")
+        monkeypatch.setenv(GRAPH_CACHE_ENV, str(tmp_path / "gc"))
+        self.fresh_memo(monkeypatch)
+        cold = self.run_sweep("path", engine="kernel")
+        assert GraphCache(tmp_path / "gc").entries()  # populated
+        self.fresh_memo(monkeypatch)
+        warm = self.run_sweep("path", engine="kernel")  # mmap hits
+        assert baseline == cold == warm
+
+    def test_task_engine_kernel_matches_fast(self, monkeypatch):
+        self.fresh_memo(monkeypatch)
+        spec = TrialSpec.of("cycle", 12, 3, engine="kernel")
+        ref = TrialSpec.of("cycle", 12, 3, engine="fast")
+        assert luby_mis_trial(spec).data == luby_mis_trial(ref).data
+        bad = TrialSpec("cycle", 12, 3, (("engine", "warp"),))
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            luby_mis_trial(bad)
