@@ -87,7 +87,14 @@ def _measure(run, reps: int):
 
 
 def _compare(make_run, reps: int, engines) -> dict:
-    """Time every engine on one workload; assert bit-identical results."""
+    """Time every engine on one workload; record cross-engine parity.
+
+    Bit-identity across engines is recorded as ``row["parity"]`` rather
+    than asserted here, so the entry (and its parity flag) reaches
+    BENCH_NATIVE.json even when an engine disagrees — that is what lets
+    ``scripts_bench_guard.py --strict-parity`` fail CI on the
+    violation. The test still asserts parity after writing the entry.
+    """
     row = {}
     results = {}
     for engine in engines:
@@ -96,12 +103,11 @@ def _compare(make_run, reps: int, engines) -> dict:
                        "rounds": result.report.rounds}
         results[engine] = result
     base = results["array"]
-    for engine, result in results.items():
-        assert result.outputs == base.outputs, \
-            f"engine {engine!r} disagrees with 'array' on outputs"
-        assert dataclasses.asdict(result.report) == \
-            dataclasses.asdict(base.report), \
-            f"engine {engine!r} disagrees with 'array' on reports"
+    row["parity"] = all(
+        result.outputs == base.outputs
+        and dataclasses.asdict(result.report) ==
+        dataclasses.asdict(base.report)
+        for result in results.values())
     fused = min(row[e]["seconds"] for e in engines if e != "array")
     row["speedup"] = round(row["array"]["seconds"] / fused, 3)
     return row
@@ -162,6 +168,12 @@ def test_kernel_layer_speedup():
             for engine in engines)
         print(f"{name}: {times}  ({row['speedup']:.2f}x, "
               f"{row['array']['rounds']} rounds)")
+
+    # After the entry is on disk: a disagreement still fails the run,
+    # but the guard's --strict-parity sees the recorded false flag too.
+    disagreeing = [n for n, row in workloads.items() if not row["parity"]]
+    assert not disagreeing, \
+        f"engines disagree with 'array' on outputs/reports: {disagreeing}"
 
     if _tiny():
         return  # CI smoke: parity and measurement paths only, no bars

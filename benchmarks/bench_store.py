@@ -1,0 +1,244 @@
+"""Benchmark: columnar trial store vs JSONL shards at 10^5 trials.
+
+Synthesizes a deterministic 10^5-trial sweep (real record schema, real
+content-addressed keys via ``spec_key``) written directly as JSONL
+shard bytes — bypassing the per-record fsync of ``put`` so setup takes
+seconds, while the stores under test are byte-for-byte what a sweep
+would have produced. Then measures, on both layouts:
+
+* **load** — opening the store cold (the JSONL store parses every
+  record; the columnar store reads the manifest and key columns);
+* **merge** — folding two half-stores into a fresh destination via
+  ``merge_stores`` (the JSONL path replays records one fsynced append
+  at a time; the columnar path adopts whole column arrays);
+* **query** — one ``(family, n)`` cell out of the open store (the
+  JSONL store can only scan; the columnar store masks two columns).
+
+Every comparison records a ``parity`` boolean — compacted records
+identical to their JSONL source, merged destinations identical across
+layouts, query results identical — *before* the speedup assertions
+run, so ``scripts_bench_guard.py --strict-parity`` can fail on an
+equality violation even when a run dies at the timing bars. The entry
+is appended to ``BENCH_STORE.json`` at the repo root.
+
+Acceptance bars pinned by this PR: >= 10x load and >= 5x merge over
+the JSONL store at 10^5 trials (checked against fresh same-machine
+JSONL runs, so the bars stay hardware-independent).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store.py -s
+
+Set ``BENCH_STORE_TINY=1`` (the CI smoke job does) to run a small
+sanity size without the machine-dependent speedup assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.sim.batch import (
+    ColumnarStore,
+    TrialSpec,
+    TrialStore,
+    compact,
+    merge_stores,
+    select_results,
+    spec_key,
+    verify_migration,
+)
+from repro.sim.batch.store import RESULT_FORMAT_VERSION, canonical_spec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_STORE.json"
+
+TASK = "bench.store.flood"
+FAMILIES = ("cycle", "path", "grid")
+SIZES = (64, 256, 1024, 4096)
+#: One cell out of the grid — the "single trial out of 10^5" lookup
+#: the columnar filter columns exist for. Present at both bench sizes.
+QUERY = {"family": "cycle", "n": 1024, "seed": 100}
+
+TRIALS_FULL = 100_000
+TRIALS_TINY = 2_000
+LOAD_BAR = 10.0
+MERGE_BAR = 5.0
+
+
+def _tiny() -> bool:
+    return bool(os.environ.get("BENCH_STORE_TINY"))
+
+
+def synthesize_records(n_trials: int) -> list:
+    """``n_trials`` raw store records, deterministic in the trial index.
+
+    Same schema and key derivation as a live sweep: metrics mirror the
+    flood-min trials (int counters plus one float), and every key is
+    the real ``spec_key`` of its spec, so compaction and merges
+    exercise exactly the content-addressing the production path does.
+    """
+    records = []
+    for i in range(n_trials):
+        family = FAMILIES[i % len(FAMILIES)]
+        size = SIZES[(i // len(FAMILIES)) % len(SIZES)]
+        seed = i // (len(FAMILIES) * len(SIZES))
+        spec = TrialSpec(family, size, seed, (("radius", 32),))
+        records.append(
+            {
+                "version": RESULT_FORMAT_VERSION,
+                "task": TASK,
+                "key": spec_key(TASK, spec),
+                "spec": canonical_spec(spec),
+                "ok": True,
+                "data": {
+                    "rounds": (i * 7919) % 64 + 1,
+                    "messages": size * 2,
+                    "total_bits": (i * 104729) % 99991,
+                    "max_message_bits": 35,
+                    "elapsed": ((i * 31) % 1000) / 1000.0,
+                },
+            }
+        )
+    return records
+
+
+def write_jsonl_store(root: Path, records: list) -> None:
+    """Materialize records as the exact bytes a TrialStore would hold."""
+    shards = root / "shards"
+    shards.mkdir(parents=True)
+    lines = [json.dumps(r, separators=(",", ":")) for r in records]
+    (shards / f"{TASK}.jsonl").write_text("\n".join(lines) + "\n")
+    index = {
+        "format": RESULT_FORMAT_VERSION,
+        "total": len(records),
+        "tasks": {TASK: len(records)},
+    }
+    (root / "index.json").write_text(json.dumps(index, sort_keys=True, indent=2) + "\n")
+
+
+def _measure(run, reps: int) -> tuple:
+    """Best-of-reps seconds plus the (identical-across-reps) result."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _row(jsonl_seconds: float, columnar_seconds: float) -> dict:
+    return {
+        "jsonl": {"seconds": round(jsonl_seconds, 6)},
+        "columnar": {"seconds": round(columnar_seconds, 6)},
+        "speedup": round(jsonl_seconds / columnar_seconds, 3),
+    }
+
+
+def test_store_throughput(tmp_path):
+    n_trials = TRIALS_TINY if _tiny() else TRIALS_FULL
+    reps_load, reps_merge, reps_query = (3, 2, 3) if _tiny() else (2, 1, 3)
+    records = synthesize_records(n_trials)
+    half = len(records) // 2
+
+    jl_full = tmp_path / "jl-full"
+    jl_a, jl_b = tmp_path / "jl-a", tmp_path / "jl-b"
+    write_jsonl_store(jl_full, records)
+    write_jsonl_store(jl_a, records[:half])
+    write_jsonl_store(jl_b, records[half:])
+
+    col_full = tmp_path / "col-full"
+    col_a, col_b = tmp_path / "col-a", tmp_path / "col-b"
+    compact(jl_full, col_full).close()
+    compact(jl_a, col_a).close()
+    compact(jl_b, col_b).close()
+
+    parity = {}
+    parity["roundtrip"] = (
+        verify_migration(TrialStore(jl_full), ColumnarStore(col_full)) == n_trials
+    )
+
+    # -- load: cold open of the full store ----------------------------
+    jl_load, jl_store = _measure(lambda: TrialStore(jl_full), reps_load)
+    col_load, col_store = _measure(lambda: ColumnarStore(col_full), reps_load)
+    load_row = _row(jl_load, col_load)
+
+    # -- merge: two half-stores into a fresh destination --------------
+    merged = {}
+
+    def merge_jsonl(rep=[0]):
+        rep[0] += 1
+        dest = TrialStore(tmp_path / f"jl-merged-{rep[0]}")
+        merge_stores(dest, [jl_a, jl_b])
+        dest.close()
+        return dest
+
+    def merge_columnar(rep=[0]):
+        rep[0] += 1
+        dest = ColumnarStore(tmp_path / f"col-merged-{rep[0]}")
+        merge_stores(dest, [col_a, col_b])
+        dest.close()
+        return dest
+
+    jl_merge, merged["jsonl"] = _measure(merge_jsonl, reps_merge)
+    col_merge, merged["columnar"] = _measure(merge_columnar, reps_merge)
+    merge_row = _row(jl_merge, col_merge)
+    parity["merge"] = list(merged["jsonl"].records()) == list(
+        merged["columnar"].records()
+    )
+
+    # -- query: one (family, n) cell out of the open stores -----------
+    jl_query, jl_hits = _measure(
+        lambda: select_results(jl_store, **QUERY), reps_query
+    )
+    col_query, col_hits = _measure(lambda: col_store.select(**QUERY), reps_query)
+    query_row = _row(jl_query, col_query)
+    parity["query"] = bool(jl_hits) and jl_hits == col_hits
+
+    entry = {
+        "label": "columnar trial store vs JSONL shards",
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "tiny": _tiny(),
+        "trials": n_trials,
+        "parity": parity,
+        "workloads": {
+            f"load-{n_trials}": load_row,
+            f"merge-{n_trials}": merge_row,
+            f"query-{n_trials}": query_row,
+        },
+    }
+    existing = []
+    if BENCH_FILE.exists():
+        existing = json.loads(BENCH_FILE.read_text())
+    existing.append(entry)
+    BENCH_FILE.write_text(json.dumps(existing, indent=2) + "\n")
+
+    print()
+    for name, row in entry["workloads"].items():
+        print(
+            f"{name}: jsonl {row['jsonl']['seconds'] * 1000:.1f}ms  "
+            f"columnar {row['columnar']['seconds'] * 1000:.1f}ms  "
+            f"({row['speedup']:.1f}x)"
+        )
+    print(f"parity: {parity}")
+
+    # Parity is a correctness gate at any size — the entry above is
+    # already on disk, so --strict-parity sees a false flag even when
+    # an assertion below stops the run.
+    assert all(parity.values()), f"cross-format parity violated: {parity}"
+    if _tiny():
+        return  # CI smoke: parity and measurement paths only, no bars
+
+    assert load_row["speedup"] >= LOAD_BAR, (
+        f"columnar load only {load_row['speedup']:.1f}x JSONL "
+        f"(want >= {LOAD_BAR}x at {n_trials} trials)"
+    )
+    assert merge_row["speedup"] >= MERGE_BAR, (
+        f"columnar merge only {merge_row['speedup']:.1f}x JSONL "
+        f"(want >= {MERGE_BAR}x at {n_trials} trials)"
+    )

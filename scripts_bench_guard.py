@@ -9,12 +9,21 @@ machine- and load-dependent, so a regression is a signal for a human,
 not a gate for a bot. The CI benchmarks job runs this after its tiny
 smoke so drift is visible in the job log.
 
+Parity flags are different. Benchmarks record cross-engine and
+cross-format *equality* checks into their entries (``parity`` booleans
+at the entry level and per workload) before any speedup assertion runs.
+Unlike timings, an equality violation is machine-independent — it means
+two code paths disagree about a deterministic computation — so
+``--strict-parity`` (the CI benchmarks job passes it) fails the run on
+any false flag while leaving timing drift warn-only.
+
 Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_native.py -s
     python scripts_bench_guard.py                      # compare vs HEAD
     python scripts_bench_guard.py --threshold 0.4      # looser bar
     python scripts_bench_guard.py --files BENCH_NATIVE.json
+    python scripts_bench_guard.py --strict-parity      # equality gates
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent
 
-DEFAULT_FILES = ("BENCH_ARRAY.json", "BENCH_NATIVE.json")
+DEFAULT_FILES = ("BENCH_ARRAY.json", "BENCH_NATIVE.json", "BENCH_STORE.json")
 
 
 def latest_entry(payload):
@@ -51,6 +60,23 @@ def committed_payload(name: str):
         return json.loads(proc.stdout)
     except ValueError:
         return None
+
+
+def parity_violations(entry: dict):
+    """Yield (where, flag) for every false parity boolean in an entry.
+
+    Benchmarks record equality checks in two shapes: an entry-level
+    ``parity`` dict of named booleans (cross-format store checks) and a
+    per-workload ``parity`` boolean (cross-engine output identity).
+    True flags and absent flags are fine; only an explicit False is a
+    violation.
+    """
+    for flag, value in sorted(entry.get("parity", {}).items()):
+        if value is False:
+            yield "entry", flag
+    for workload, row in sorted(entry.get("workloads", {}).items()):
+        if isinstance(row, dict) and row.get("parity") is False:
+            yield workload, "parity"
 
 
 def compare_entries(name: str, baseline: dict, fresh: dict, threshold: float):
@@ -91,19 +117,41 @@ def main(argv=None) -> int:
         action="store_true",
         help="exit 1 on regression instead of warning (not used by CI)",
     )
+    parser.add_argument(
+        "--strict-parity",
+        action="store_true",
+        help="exit 1 on any false parity flag in a fresh entry; timing "
+        "drift stays warn-only (the CI benchmarks job passes this)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
 
     regressions = []
+    parity_failures = []
     for name in args.files:
         fresh_path = REPO_ROOT / name
         if not fresh_path.exists():
             print(f"[bench-guard] {name}: no fresh file, skipping")
             continue
         fresh = latest_entry(json.loads(fresh_path.read_text()))
+        if fresh is None:
+            print(f"[bench-guard] {name}: no entries, skipping")
+            continue
+        # Parity gates the fresh entry on its own — no baseline needed:
+        # an equality violation is wrong on any machine, including one
+        # whose timings were never committed.
+        violations = list(parity_violations(fresh))
+        if violations:
+            parity_failures.append(name)
+            for where, flag in violations:
+                print(
+                    f"[bench-guard] PARITY VIOLATION: {name} {where}: "
+                    f"{flag} is false — two code paths disagree about a "
+                    f"deterministic computation"
+                )
         baseline = latest_entry(committed_payload(name))
-        if fresh is None or baseline is None:
+        if baseline is None:
             print(f"[bench-guard] {name}: no committed baseline, skipping")
             continue
         if fresh is baseline or fresh == baseline:
@@ -121,6 +169,8 @@ def main(argv=None) -> int:
                 f" threshold {args.threshold:.0%})"
             )
 
+    if parity_failures and args.strict_parity:
+        return 1
     if regressions and args.strict:
         return 1
     return 0

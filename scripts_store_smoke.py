@@ -1,0 +1,141 @@
+"""Store-migration smoke: a JSONL sweep, compacted, replays identically.
+
+The acceptance check behind the columnar store
+(``repro.sim.batch.colstore``): run a quick experiment sweep into a
+JSONL TrialStore, migrate it with ``--compact``, then regenerate the
+same tables from the columnar copy and require
+
+* **table byte-identity** — the rendered tables (timing lines
+  stripped) from the two layouts are equal, byte for byte;
+* **identical content-addressed keys** — the migrated store holds the
+  exact record stream of the source, ``spec_key`` and all
+  (``verify_migration`` compares record-for-record);
+* **no recompute** — the columnar replay serves every trial from
+  cache: the store's record count is unchanged afterwards.
+
+Plus a ``--query`` round trip against the columnar copy. Both store
+directories are left in place (``--dir``) so CI can upload them as
+artifacts. Runs in-process — this is a correctness smoke, not a
+subprocess drill.
+
+Usage::
+
+    PYTHONPATH=src python scripts_store_smoke.py
+    PYTHONPATH=src python scripts_store_smoke.py --dir store-smoke e01 e10
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import difflib
+import io
+import os
+import re
+import sys
+
+from repro.analysis.cli import main as analysis_main
+from repro.sim.batch import ColumnarStore, TrialStore, verify_migration
+
+#: Wall-clock lines the CLI prints under each table ("[e10: 1.2s]") —
+#: the only output allowed to differ between the two replays.
+TIMING_LINE = re.compile(r"^\[[^:\]]+: [0-9.]+s\]$")
+
+DEFAULT_EXPERIMENTS = ("e01", "e10")
+
+
+def run_cli(argv: list) -> str:
+    """One in-process analysis-CLI run; its stdout, or a loud failure."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        rc = analysis_main(argv)
+    if rc != 0:
+        sys.stderr.write(buffer.getvalue())
+        raise SystemExit(f"analysis CLI exited {rc} for {argv}")
+    return buffer.getvalue()
+
+
+def table_lines(text: str) -> list:
+    return [line for line in text.splitlines() if not TIMING_LINE.match(line)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="JSONL -> columnar migration smoke (tables, keys, cache)."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(DEFAULT_EXPERIMENTS),
+        help=f"experiments to sweep (default: {' '.join(DEFAULT_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--dir",
+        default="store-smoke",
+        help="directory for the two store layouts (kept for artifact "
+        "upload; default: store-smoke)",
+    )
+    args = parser.parse_args(argv)
+    jsonl_dir = os.path.join(args.dir, "jsonl")
+    columnar_dir = os.path.join(args.dir, "columnar")
+
+    print(f"[store-smoke] sweeping {args.experiments} into {jsonl_dir} (JSONL)")
+    first = run_cli([*args.experiments, "--store", jsonl_dir])
+
+    print(f"[store-smoke] compacting {jsonl_dir} -> {columnar_dir}")
+    print(run_cli(["--store", jsonl_dir, "--compact", columnar_dir]).strip())
+
+    source = TrialStore(jsonl_dir)
+    migrated = ColumnarStore(columnar_dir)
+    count = verify_migration(source, migrated)
+    source.close()
+    migrated.close()
+    print(
+        f"[store-smoke] {count} record(s) migrated with identical "
+        f"content-addressed keys and payloads"
+    )
+
+    print("[store-smoke] regenerating tables from the columnar copy")
+    second = run_cli(
+        [*args.experiments, "--store", columnar_dir, "--store-format", "columnar"]
+    )
+    if table_lines(first) != table_lines(second):
+        sys.stderr.write(
+            "".join(
+                difflib.unified_diff(
+                    [line + "\n" for line in table_lines(first)],
+                    [line + "\n" for line in table_lines(second)],
+                    fromfile="tables-from-jsonl",
+                    tofile="tables-from-columnar",
+                )
+            )
+        )
+        raise SystemExit("tables differ between the JSONL and columnar replays")
+    print("[store-smoke] tables byte-identical across layouts")
+
+    replayed = ColumnarStore(columnar_dir)
+    if len(replayed) != count:
+        raise SystemExit(
+            f"columnar replay recomputed trials: store grew from {count} "
+            f"to {len(replayed)} record(s) — the cache missed"
+        )
+    record = next(replayed.records())
+    replayed.close()
+    family, n = record["spec"]["family"], record["spec"]["n"]
+
+    query = ["--store", columnar_dir, "--query", f"family={family}", f"n={n}"]
+    out = run_cli(query)
+    print(out.strip())
+    matched = int(out.split(" ", 1)[0])
+    if matched < 1:
+        raise SystemExit(f"--query family={family} n={n} matched nothing")
+
+    print(
+        f"[store-smoke] OK: {count} record(s), tables identical, no "
+        f"recompute, query matched {matched}; stores kept under {args.dir}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ from ..sim.batch import (
     TrialStore,
     WorkUnit,
     merge_pushed,
+    open_store,
     pushed_store_dirs,
     run_worker,
     wait_until_done,
@@ -360,6 +361,11 @@ def run_coordination(
             "--merge is the manual flow; the coordinator merges pushed "
             "stores itself — drop it"
         )
+    if args.compact is not None or args.query is not None:
+        raise ConfigurationError(
+            "--compact/--query are offline store commands; run them "
+            "against --store without --coordinator/--worker"
+        )
     if args.worker is not None:
         if args.resume:
             raise ConfigurationError(
@@ -541,7 +547,9 @@ def run_coordinator_mode(
         # matter what order worker pushes arrived in — or which units
         # the fleet could not finish (the quarantine report above names
         # them; their results exist thanks to the local backfill).
-        final = TrialStore(args.store)
+        # Staging and worker scratch stay JSONL (the ingest format);
+        # --store-format only decides the final store's layout.
+        final = open_store(args.store, getattr(args, "store_format", None))
         layered = ReadThroughStore(final, staging_store)
         if scenario is not None:
             results = scenario.run(workers=args.workers, store=layered)

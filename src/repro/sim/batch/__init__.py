@@ -65,7 +65,18 @@ from .store import (
     TrialStore,
     canonical_spec,
     merge_stores,
+    record_digest,
     spec_key,
+)
+from .colstore import (
+    COLSTORE_FORMAT_VERSION,
+    ColumnarStore,
+    compact,
+    decompact,
+    open_store,
+    select_results,
+    store_format,
+    verify_migration,
 )
 
 __all__ = [
@@ -73,7 +84,9 @@ __all__ = [
     "ArrayEngine",
     "ArrayProgram",
     "AuthenticationError",
+    "COLSTORE_FORMAT_VERSION",
     "CSRGraph",
+    "ColumnarStore",
     "CoordinatorClient",
     "CoordinatorServer",
     "CoordinatorUnavailable",
@@ -106,6 +119,8 @@ __all__ = [
     "aggregate",
     "bfs_forest_trial",
     "canonical_spec",
+    "compact",
+    "decompact",
     "default_chunksize",
     "default_graph_cache",
     "deterministic_uniform",
@@ -117,13 +132,18 @@ __all__ = [
     "merge_stores",
     "native_available",
     "native_unavailable_reason",
+    "open_store",
     "pushed_store_dirs",
+    "record_digest",
     "resolve_workers",
     "round_engine",
     "run_program_fast",
     "run_trials",
     "run_worker",
+    "select_results",
     "shard",
     "spec_key",
+    "store_format",
+    "verify_migration",
     "wait_until_done",
 ]

@@ -105,6 +105,19 @@ def spec_key(task_name: str, spec: TrialSpec,
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def record_digest(record: Dict[str, Any]) -> str:
+    """Content address of one raw store record (order-insensitive).
+
+    Hex BLAKE2b-128 of the record's canonical JSON (sorted keys), used
+    by merge-conflict reports: two records with the same trial key but
+    different digests are two stores disagreeing about a deterministic
+    computation, and the digests let the operator identify *which*
+    store copies differ without diffing full payload dumps.
+    """
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
 def file_digest(text: str) -> str:
     """Content address of one store file: hex BLAKE2b-128 of its UTF-8 bytes.
 
@@ -294,6 +307,23 @@ class TrialStore:
         for key in self._order:
             yield self._records[key]
 
+    # ------------------------------------------------------------------
+    # merge protocol (shared with ColumnarStore; see merge_stores)
+    # ------------------------------------------------------------------
+    def _get_record(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    def _merge_append(self, record: Dict[str, Any]) -> None:
+        # Index writes are batched in _merge_finalize: one rewrite per
+        # merge, not per record. The index is a derived summary (loads
+        # scan the shard files), so a crash mid-merge leaves it stale
+        # but never wrong to resume from.
+        self._append(record, write_index=False)
+
+    def _merge_finalize(self, stats: Dict[str, int]) -> None:
+        if stats["added"]:
+            self._write_index()
+
     def tasks(self) -> Dict[str, int]:
         """Record count per task name, sorted by name.
 
@@ -342,10 +372,14 @@ class ReadThroughStore:
     an arbitrarily-ordered merge of worker shard stores into a final
     store byte-identical to the unsharded baseline.
 
-    ``fallback`` is never written to.
+    ``fallback`` is never written to. Either layer can be any store
+    speaking the ``get``/``put`` protocol — the JSONL
+    :class:`TrialStore` or the columnar store
+    (:mod:`repro.sim.batch.colstore`); the replay-in-grid-order
+    argument above is layout-independent.
     """
 
-    def __init__(self, primary: TrialStore, fallback: TrialStore) -> None:
+    def __init__(self, primary: Any, fallback: Any) -> None:
         self.primary = primary
         self.fallback = fallback
 
@@ -361,12 +395,18 @@ class ReadThroughStore:
             result: TrialResult) -> None:
         self.primary.put(task_name, spec, result)
 
+    def flush(self) -> None:
+        """Flush the primary's row buffer, if it has one (columnar)."""
+        flush = getattr(self.primary, "flush", None)
+        if flush is not None:
+            flush()
+
     def __len__(self) -> int:
         return len(self.primary)
 
 
-def merge_stores(dest: TrialStore,
-                 sources: Iterable[Union[TrialStore, str, os.PathLike]],
+def merge_stores(dest: Any,
+                 sources: Iterable[Union[Any, str, os.PathLike]],
                  ) -> Dict[str, int]:
     """Fold source stores into ``dest``, deterministically.
 
@@ -374,15 +414,25 @@ def merge_stores(dest: TrialStore,
     insertion order, so merging the same stores always yields the same
     destination. A record whose key already exists is checked for
     payload equality: identical records (two hosts computed the same
-    trial) are skipped, conflicting ones raise — a conflict means two
-    stores disagree about a deterministic computation, which is a bug
-    worth stopping for, not papering over.
+    trial) are skipped, conflicting ones raise with the first
+    conflicting trial key and both record digests — a conflict means
+    two stores disagree about a deterministic computation, which is a
+    bug worth stopping for, not papering over, and the digests say
+    which copies to go look at.
+
+    Both sides may be either store format — the JSONL
+    :class:`TrialStore` or the columnar store
+    (:mod:`repro.sim.batch.colstore`); paths are auto-detected. A
+    columnar-to-columnar merge takes a bulk fast path that adopts
+    whole column arrays instead of replaying records one by one.
 
     An empty source list is rejected: a merge of nothing would report
     success while leaving ``dest`` unchanged, which in every observed
     case meant a glob or worker fleet produced no stores — an error the
     caller needs to hear about, not a no-op.
     """
+    from .colstore import ColumnarStore, open_store
+
     sources = list(sources)
     if not sources:
         raise ConfigurationError(
@@ -390,9 +440,7 @@ def merge_stores(dest: TrialStore,
             "merge would silently leave the destination unchanged")
     stats = {"added": 0, "duplicate": 0}
     for source in sources:
-        if isinstance(source, TrialStore):
-            src = source
-        else:
+        if isinstance(source, (str, os.PathLike)):
             path = os.fspath(source)
             if not os.path.isdir(path):
                 # Opening would silently create an empty store, turning
@@ -400,15 +448,18 @@ def merge_stores(dest: TrialStore,
                 # and a later run would recompute that host's slice.
                 raise ConfigurationError(
                     f"merge source {path!r} does not exist")
-            src = TrialStore(path)
+            src = open_store(path)
+        else:
+            src = source
+        if isinstance(dest, ColumnarStore) and isinstance(src, ColumnarStore):
+            sub = dest._adopt_from(src)
+            stats["added"] += sub["added"]
+            stats["duplicate"] += sub["duplicate"]
+            continue
         for record in src.records():
-            existing = dest._records.get(record["key"])
+            existing = dest._get_record(record["key"])
             if existing is None:
-                # Index writes are batched below: one rewrite per merge,
-                # not per record. The index is a derived summary (loads
-                # scan the shard files), so a crash mid-merge leaves it
-                # stale but never wrong to resume from.
-                dest._append(record, write_index=False)
+                dest._merge_append(record)
                 stats["added"] += 1
             elif existing == record:
                 stats["duplicate"] += 1
@@ -416,8 +467,9 @@ def merge_stores(dest: TrialStore,
                 raise ConfigurationError(
                     f"conflicting records for key {record['key']} "
                     f"(task {record.get('task')!r}) while merging "
-                    f"{getattr(src, 'root', source)!r}: stored "
-                    f"{existing!r} vs incoming {record!r}")
-    if stats["added"]:
-        dest._write_index()
+                    f"{getattr(src, 'root', source)!r}: stored record "
+                    f"digest {record_digest(existing)} vs incoming record "
+                    f"digest {record_digest(record)} — two stores disagree "
+                    f"about a deterministic computation")
+    dest._merge_finalize(stats)
     return stats

@@ -1,0 +1,468 @@
+"""The columnar trial store: round trips, crash windows, merge refusal.
+
+The load-bearing guarantees, each pinned here:
+
+* compaction is lossless — ``TrialStore -> ColumnarStore -> TrialStore``
+  reproduces the original shard files byte for byte, content-addressed
+  keys included — and every storable value type survives, including the
+  dtype boundaries (int64 min/max in packed columns, ints beyond int64
+  rerouted to the ragged sidecar rather than silently wrapping);
+* a torn final flush never loses or duplicates a trial: both crash
+  windows of the segment commit protocol (stray unlisted segment
+  directory; manifest-listed segment with an untruncated tail) recover
+  on load to the exact same record stream;
+* ``merge_stores`` refuses conflicting stores loudly, naming the first
+  conflicting key and both record digests, on every merge path
+  (record-wise and the columnar bulk-adoption fast path);
+* queries touch only the columns they filter on, and ``aggregate`` is
+  row-for-row identical to the JSONL path's ``runner.aggregate``;
+* the store drops into ``run_trials`` unchanged: a replayed sweep is
+  served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.batch import (
+    ColumnarStore,
+    TrialResult,
+    TrialSpec,
+    TrialStore,
+    aggregate,
+    compact,
+    decompact,
+    merge_stores,
+    open_store,
+    record_digest,
+    run_trials,
+    select_results,
+    spec_key,
+    store_format,
+    verify_migration,
+)
+from repro.sim.batch.colstore import DEFAULT_FLUSH_ROWS, MANIFEST_NAME, TAIL_NAME
+
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+
+def _probe_task(spec: TrialSpec) -> TrialResult:
+    """Deterministic task with every storable data type (picklable)."""
+    return TrialResult(spec, spec.seed % 2 == 0, {
+        "rounds": spec.seed + 1,
+        "third": spec.seed / 3.0,
+        "family": spec.family,
+        "flag": spec.seed > 0,
+        "pair": (spec.n, spec.family),
+        "nothing": None,
+    })
+
+
+def _poison_task(spec: TrialSpec) -> TrialResult:
+    """A task that must never run — proves replays come from the cache."""
+    raise AssertionError(f"task executed for {spec} despite a full cache")
+
+
+def _store_bytes(root: str) -> dict:
+    """Every file under ``root`` as relpath -> bytes, for exact comparison."""
+    contents = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for name in files:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as handle:
+                contents[os.path.relpath(path, root)] = handle.read()
+    return contents
+
+
+def _fill(store, count: int, task: str = "t", family: str = "cycle"):
+    """``count`` probe results into ``store``; returns their specs."""
+    specs = [TrialSpec.of(family, 8 * (i % 3 + 1), i) for i in range(count)]
+    for spec in specs:
+        store.put(task, spec, _probe_task(spec))
+    return specs
+
+
+class TestRoundTrip:
+    def test_put_get_is_identity_with_exact_types(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        spec = TrialSpec.of("cycle", 12, 3, window=(2, 5))
+        store.put("t", spec, _probe_task(spec))
+        store.flush()
+        cached = ColumnarStore(tmp_path).get("t", spec)
+        assert cached == _probe_task(spec)
+        assert isinstance(cached.data["rounds"], int)
+        assert isinstance(cached.data["flag"], bool)
+        assert isinstance(cached.data["pair"], tuple)
+        assert isinstance(cached.data["third"], float)
+        assert cached.data["nothing"] is None
+
+    def test_compact_decompact_reproduces_shard_bytes(self, tmp_path):
+        """The headline migration guarantee: an exact byte round trip."""
+        source = TrialStore(tmp_path / "jsonl")
+        _fill(source, 7, task="a")
+        _fill(source, 5, task="b", family="path")
+        source.close()
+        compact(tmp_path / "jsonl", tmp_path / "col", verify=True).close()
+        decompact(tmp_path / "col", tmp_path / "back", verify=True).close()
+        original = _store_bytes(str(tmp_path / "jsonl"))
+        regenerated = _store_bytes(str(tmp_path / "back"))
+        assert original == regenerated
+
+    def test_migration_preserves_content_addressed_keys(self, tmp_path):
+        source = TrialStore(tmp_path / "jsonl")
+        specs = _fill(source, 4)
+        compact(tmp_path / "jsonl", tmp_path / "col").close()
+        migrated = ColumnarStore(tmp_path / "col")
+        for spec in specs:
+            assert spec_key("t", spec) in migrated
+        assert verify_migration(source, migrated) == 4
+
+    def test_compaction_refuses_nonfresh_destination(self, tmp_path):
+        _fill(TrialStore(tmp_path / "jsonl"), 2)
+        _fill(ColumnarStore(tmp_path / "col"), 1, task="other")
+        with pytest.raises(ConfigurationError, match="fresh"):
+            compact(tmp_path / "jsonl", tmp_path / "col")
+
+
+class TestDtypeBoundaries:
+    def test_int64_extremes_pack_and_round_trip(self, tmp_path):
+        """Values at the exact int64 edges live in packed columns."""
+        store = ColumnarStore(tmp_path / "col")
+        spec = TrialSpec.of("cycle", 8, 0)
+        result = TrialResult(spec, True,
+                             {"hi": INT64_MAX, "lo": INT64_MIN})
+        store.put("t", spec, result)
+        store.flush()
+        reloaded = ColumnarStore(tmp_path / "col")
+        [record] = list(reloaded.records())
+        assert record["data"] == {"hi": INT64_MAX, "lo": INT64_MIN}
+        assert reloaded.get("t", spec) == result
+        entry = reloaded._manifest["segments"][0]
+        assert set(entry["metrics"]) == {"hi", "lo"}
+
+    def test_beyond_int64_rides_the_sidecar_exactly(self, tmp_path):
+        """2^63 would wrap in an int64 column; it must stay ragged."""
+        store = ColumnarStore(tmp_path / "col")
+        spec = TrialSpec.of("cycle", 8, 0)
+        big = INT64_MAX + 1
+        store.put("t", spec, TrialResult(spec, True,
+                                         {"total_bits": big,
+                                          "negative": INT64_MIN - 1}))
+        store.flush()
+        reloaded = ColumnarStore(tmp_path / "col")
+        [record] = list(reloaded.records())
+        assert record["data"]["total_bits"] == big
+        assert record["data"]["negative"] == INT64_MIN - 1
+        entry = reloaded._manifest["segments"][0]
+        assert entry["metrics"] == {}
+        assert sorted(entry["extras"]) == ["negative", "total_bits"]
+
+    def test_mixed_int_float_field_stays_ragged(self, tmp_path):
+        """A field that is int in one row and float in another cannot
+        become a typed column without changing the values' types."""
+        store = ColumnarStore(tmp_path / "col")
+        for seed, value in ((0, 3), (1, 3.5)):
+            spec = TrialSpec.of("cycle", 8, seed)
+            store.put("t", spec, TrialResult(spec, True, {"cost": value}))
+        store.flush()
+        reloaded = ColumnarStore(tmp_path / "col")
+        values = [r["data"]["cost"] for r in reloaded.records()]
+        assert values == [3, 3.5]
+        assert [type(v) for v in values] == [int, float]
+
+    def test_overflowing_spec_n_is_refused(self, tmp_path):
+        """Spec columns are unconditionally int64 — a spec beyond that
+        range must be refused up front, not silently wrapped."""
+        store = ColumnarStore(tmp_path / "col")
+        spec = TrialSpec.of("cycle", INT64_MAX + 1, 0)
+        with pytest.raises(ConfigurationError, match="int64"):
+            store.put("t", spec, TrialResult(spec, True, {"rounds": 1}))
+
+
+class TestEmptyAndSingle:
+    def test_empty_store_round_trips(self, tmp_path):
+        store = ColumnarStore(tmp_path / "col")
+        assert len(store) == 0
+        assert list(store.records()) == []
+        assert store.select() == []
+        assert store.aggregate() == []
+        store.flush()  # no-op: no tail rows, no segment written
+        assert ColumnarStore(tmp_path / "col")._manifest["segments"] == []
+
+    def test_empty_migrations(self, tmp_path):
+        TrialStore(tmp_path / "jsonl").close()
+        migrated = compact(tmp_path / "jsonl", tmp_path / "col", verify=True)
+        assert len(migrated) == 0
+        back = decompact(tmp_path / "col", tmp_path / "back", verify=True)
+        assert len(back) == 0
+
+    def test_single_trial_store(self, tmp_path):
+        store = ColumnarStore(tmp_path / "col")
+        [spec] = _fill(store, 1)
+        store.flush()
+        reloaded = ColumnarStore(tmp_path / "col")
+        assert len(reloaded) == 1
+        assert reloaded.get("t", spec) == _probe_task(spec)
+        assert reloaded.select(family="cycle", seed=0) == [_probe_task(spec)]
+        decompact(tmp_path / "col", tmp_path / "back", verify=True).close()
+
+    def test_merge_of_empty_sources_is_a_noop(self, tmp_path):
+        dest = ColumnarStore(tmp_path / "dest")
+        _fill(dest, 2)
+        dest.flush()
+        before = list(dest.records())
+        stats = merge_stores(dest, [ColumnarStore(tmp_path / "empty-col"),
+                                    TrialStore(tmp_path / "empty-jl")])
+        assert stats == {"added": 0, "duplicate": 0}
+        assert list(dest.records()) == before
+
+
+class TestTornFlush:
+    """The two crash windows of the flush commit protocol."""
+
+    def _store_with_pending_tail(self, root, count=3):
+        store = ColumnarStore(root, flush_rows=DEFAULT_FLUSH_ROWS)
+        _fill(store, count)
+        store.close()  # rows durable in the tail, nothing packed yet
+        return count
+
+    def test_stray_unlisted_segment_is_invisible(self, tmp_path):
+        """Crash between segment rename and manifest write: the segment
+        directory exists but the manifest does not list it, so every
+        row is still (only) in the tail."""
+        root = tmp_path / "col"
+        count = self._store_with_pending_tail(root)
+        pre = _store_bytes(str(root))
+        flushed = ColumnarStore(root)
+        flushed.flush()
+        expected = list(ColumnarStore(root).records())
+        # Rebuild the torn state: packed segment dir present, but
+        # manifest and tail as they were before the flush.
+        torn = tmp_path / "torn"
+        shutil.copytree(root, torn)
+        for relpath, payload in pre.items():
+            with open(os.path.join(torn, relpath), "wb") as handle:
+                handle.write(payload)
+        recovered = ColumnarStore(torn)
+        assert len(recovered) == count
+        assert recovered._manifest["segments"] == []
+        assert len(recovered._tail) == count
+        # Re-flushing packs the tail, overwriting the stray directory.
+        recovered.flush()
+        assert list(ColumnarStore(torn).records()) == expected
+
+    def test_listed_segment_with_untruncated_tail_deduplicates(self, tmp_path):
+        """Crash between manifest write and tail truncate: every packed
+        row is in both places; loading keeps exactly one copy."""
+        root = tmp_path / "col"
+        count = self._store_with_pending_tail(root)
+        with open(root / TAIL_NAME, "rb") as handle:
+            tail_before = handle.read()
+        flushed = ColumnarStore(root)
+        flushed.flush()
+        expected = list(ColumnarStore(root).records())
+        with open(root / TAIL_NAME, "wb") as handle:
+            handle.write(tail_before)  # un-truncate: rows now duplicated
+        recovered = ColumnarStore(root)
+        assert len(recovered) == count
+        assert recovered._tail == []
+        assert list(recovered.records()) == expected
+
+    def test_untruncated_tail_with_diverging_payload_is_corruption(
+            self, tmp_path):
+        """Same window, but a tail row disagreeing with its packed copy
+        is not recovery — it must stop the load."""
+        root = tmp_path / "col"
+        store = ColumnarStore(root)
+        [spec] = _fill(store, 1)
+        store.flush()
+        store.close()
+        evil = dict(next(ColumnarStore(root).records()))
+        evil["data"] = dict(evil["data"], rounds=999)
+        with open(root / TAIL_NAME, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(evil, sort_keys=True) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            ColumnarStore(root)
+
+    def test_torn_final_tail_line_is_tolerated(self, tmp_path):
+        """A half-written last tail line (power loss mid-append) is
+        skipped on load, exactly like the JSONL store's shards."""
+        root = tmp_path / "col"
+        count = self._store_with_pending_tail(root)
+        with open(root / TAIL_NAME, "a", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "task": "t", "key": "dead')
+        recovered = ColumnarStore(root)
+        assert len(recovered) == count
+
+
+class TestMergeRefusal:
+    def _conflicting_pair(self, tmp_path, fmt_a, fmt_b):
+        """Two stores agreeing on a key but not its payload; returns
+        (dest, source, key, digest_a, digest_b)."""
+        spec = TrialSpec.of("cycle", 8, 0)
+        key = spec_key("t", spec)
+        a = open_store(tmp_path / "a", fmt_a)
+        a.put("t", spec, TrialResult(spec, True, {"rounds": 1}))
+        b = open_store(tmp_path / "b", fmt_b)
+        b.put("t", spec, TrialResult(spec, True, {"rounds": 2}))
+        for store in (a, b):
+            flush = getattr(store, "flush", None)
+            if flush:
+                flush()
+        digest_a = record_digest(a._get_record(key))
+        digest_b = record_digest(b._get_record(key))
+        assert digest_a != digest_b
+        return a, b, key, digest_a, digest_b
+
+    @pytest.mark.parametrize("fmt_a,fmt_b", [
+        ("jsonl", "jsonl"),
+        ("jsonl", "columnar"),
+        ("columnar", "jsonl"),
+        ("columnar", "columnar"),  # exercises the bulk-adoption path
+    ])
+    def test_conflict_names_key_and_both_digests(self, tmp_path, fmt_a, fmt_b):
+        """Regression: the refusal must identify the first conflicting
+        key and the digest of both payloads, so two operators can tell
+        whose store diverged without replaying anything."""
+        dest, source, key, digest_a, digest_b = self._conflicting_pair(
+            tmp_path, fmt_a, fmt_b)
+        with pytest.raises(ConfigurationError) as exc:
+            merge_stores(dest, [source])
+        message = str(exc.value)
+        assert key in message
+        assert digest_a in message
+        assert digest_b in message
+        assert "disagree" in message
+
+    def test_identical_records_merge_as_duplicates(self, tmp_path):
+        spec = TrialSpec.of("cycle", 8, 0)
+        for name in ("a", "b"):
+            store = ColumnarStore(tmp_path / name)
+            store.put("t", spec, _probe_task(spec))
+            store.flush()
+        dest = ColumnarStore(tmp_path / "a")
+        stats = merge_stores(dest, [tmp_path / "b"])
+        assert stats == {"added": 0, "duplicate": 1}
+        assert len(dest) == 1
+
+    def test_cross_format_merges_agree(self, tmp_path):
+        """jsonl+jsonl and columnar+columnar merges of the same halves
+        must produce the same record stream."""
+        specs = [TrialSpec.of("cycle", 8, seed) for seed in range(6)]
+        jl_a, jl_b = TrialStore(tmp_path / "jl-a"), TrialStore(tmp_path / "jl-b")
+        for store, chunk in ((jl_a, specs[:3]), (jl_b, specs[3:])):
+            for spec in chunk:
+                store.put("t", spec, _probe_task(spec))
+        compact(tmp_path / "jl-a", tmp_path / "col-a").close()
+        compact(tmp_path / "jl-b", tmp_path / "col-b").close()
+        jl_dest = TrialStore(tmp_path / "jl-merged")
+        merge_stores(jl_dest, [tmp_path / "jl-a", tmp_path / "jl-b"])
+        col_dest = ColumnarStore(tmp_path / "col-merged")
+        merge_stores(col_dest, [tmp_path / "col-a", tmp_path / "col-b"])
+        assert list(jl_dest.records()) == list(col_dest.records())
+
+
+class TestQueries:
+    def _grid_store(self, tmp_path):
+        store = ColumnarStore(tmp_path / "col", flush_rows=4)
+        for family in ("cycle", "path"):
+            for seed in range(4):
+                spec = TrialSpec.of(family, 8, seed)
+                store.put("grid", spec, _probe_task(spec))
+        store.flush()
+        return ColumnarStore(tmp_path / "col", flush_rows=4)
+
+    def test_select_filters_and_preserves_order(self, tmp_path):
+        store = self._grid_store(tmp_path)
+        hits = store.select(family="path")
+        assert [r.spec.seed for r in hits] == [0, 1, 2, 3]
+        assert all(r.spec.family == "path" for r in hits)
+        assert store.select(family="path", seed=2) == \
+            [_probe_task(TrialSpec.of("path", 8, 2))]
+        assert store.select(family="no-such-family") == []
+
+    def test_select_touches_only_filter_columns(self, tmp_path):
+        """The laziness claim: a miss never loads metric columns, and a
+        seed filter never loads the family column."""
+        store = self._grid_store(tmp_path)
+        [segment] = store._segments[:1]
+        assert segment.loaded_columns() == ["key.npy"]  # index build only
+        store.select(family="path", n=999)
+        assert segment.loaded_columns() == ["family.npy", "key.npy", "n.npy"]
+
+    def test_aggregate_matches_jsonl_path_exactly(self, tmp_path):
+        store = self._grid_store(tmp_path)
+        for kwargs in ({}, {"by": ("family", "seed")},
+                       {"family": "cycle"}, {"seed": 1}):
+            by = kwargs.pop("by", ("family", "n"))
+            assert store.aggregate(by=by, **kwargs) == \
+                aggregate(store.select(**kwargs), by=by)
+
+    def test_select_results_is_format_agnostic(self, tmp_path):
+        store = self._grid_store(tmp_path)
+        decompact(tmp_path / "col", tmp_path / "jl").close()
+        jsonl = TrialStore(tmp_path / "jl")
+        for kwargs in ({"family": "cycle"}, {"seed": 3}, {"n": 8}):
+            assert select_results(store, **kwargs) == \
+                select_results(jsonl, **kwargs)
+
+
+class TestOpenStore:
+    def test_autodetects_both_formats(self, tmp_path):
+        _fill(TrialStore(tmp_path / "jl"), 1)
+        _fill(ColumnarStore(tmp_path / "col"), 1)
+        assert store_format(tmp_path / "jl") == "jsonl"
+        assert store_format(tmp_path / "col") == "columnar"
+        assert isinstance(open_store(tmp_path / "jl"), TrialStore)
+        assert isinstance(open_store(tmp_path / "col"), ColumnarStore)
+        assert store_format(tmp_path / "fresh") is None
+        assert isinstance(open_store(tmp_path / "fresh"), TrialStore)
+
+    def test_contradicting_format_raises(self, tmp_path):
+        """Opening a columnar store as jsonl would 'work' while
+        computing everything cold — it must refuse instead."""
+        _fill(ColumnarStore(tmp_path / "col"), 1)
+        with pytest.raises(ConfigurationError, match="columnar"):
+            open_store(tmp_path / "col", "jsonl")
+        _fill(TrialStore(tmp_path / "jl"), 1)
+        with pytest.raises(ConfigurationError, match="jsonl"):
+            open_store(tmp_path / "jl", "columnar")
+        with pytest.raises(ConfigurationError, match="unknown store format"):
+            open_store(tmp_path / "jl", "parquet")
+
+
+class TestRunTrialsIntegration:
+    def test_sweep_then_replay_is_fully_cached(self, tmp_path):
+        specs = [TrialSpec.of("cycle", 8, seed) for seed in range(5)]
+        store = ColumnarStore(tmp_path / "col")
+        first = run_trials(_probe_task, specs, workers=1, store=store,
+                           task_name="t")
+        store.close()
+        # run_trials flushes at sweep end: rows are packed, tail empty.
+        reloaded = ColumnarStore(tmp_path / "col")
+        assert reloaded._tail == []
+        assert len(reloaded) == len(specs)
+        replay = run_trials(_poison_task, specs, workers=1, store=reloaded,
+                            task_name="t")
+        assert replay == first
+
+    def test_mid_sweep_resume_matches_uninterrupted(self, tmp_path):
+        specs = [TrialSpec.of("cycle", 8, seed) for seed in range(6)]
+        full = run_trials(_probe_task, specs, workers=1,
+                          store=ColumnarStore(tmp_path / "full"),
+                          task_name="t")
+        partial = ColumnarStore(tmp_path / "partial")
+        run_trials(_probe_task, specs[:3], workers=1, store=partial,
+                   task_name="t")
+        resumed = run_trials(_probe_task, specs, workers=1,
+                             store=ColumnarStore(tmp_path / "partial"),
+                             task_name="t")
+        assert resumed == full
+        assert list(ColumnarStore(tmp_path / "partial").records()) == \
+            list(ColumnarStore(tmp_path / "full").records())
